@@ -1,0 +1,122 @@
+// Command deanon runs the paper's §V de-anonymization study over a
+// ledgerstore directory: it prints the Table I rounding specification,
+// computes the Figure 3 information gain for all ten resolution tuples,
+// and then demonstrates the attack on randomly drawn payments —
+// reporting how often a single (possibly coarsened) observation
+// identifies the sender uniquely.
+//
+//	deanon -store ./history -samples 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ripplestudy/internal/core"
+	"ripplestudy/internal/deanon"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/ledgerstore"
+)
+
+func main() {
+	storeDir := flag.String("store", "history", "ledgerstore directory")
+	samples := flag.Int("samples", 1000, "observations to attack in the demo")
+	seed := flag.Int64("seed", 1, "seed for observation sampling")
+	flag.Parse()
+
+	if err := run(*storeDir, *samples, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "deanon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(storeDir string, samples int, seed int64) error {
+	fmt.Println("Table I — rounding resolutions per currency-strength group:")
+	for _, row := range core.TableI() {
+		fmt.Println("  " + row)
+	}
+
+	ds, err := core.OpenDataset(storeDir)
+	if err != nil {
+		return err
+	}
+	rows, err := ds.Figure3()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 3 — information gain per resolution tuple:")
+	for _, r := range rows {
+		pct := 100 * r.IG
+		fmt.Printf("  %-16s %6.2f%%  (%d unique of %d)  %s\n",
+			r.Resolution, pct, r.Unique, r.Total, strings.Repeat("#", int(pct/2.5)))
+	}
+
+	// Attack demo: build the attacker's index at full resolution, then
+	// sample payments and query with the sender blinded.
+	store, err := ledgerstore.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	res := deanon.Figure3Rows[0] // ⟨Am;Tsc;C;D⟩
+	idx := deanon.NewIndex(res)
+	var reservoir []deanon.Features
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	err = store.Transactions(func(p *ledger.Page, tx *ledger.Tx, m *ledger.TxMeta) error {
+		f, ok := deanon.FromTransaction(p, tx, m)
+		if !ok {
+			return nil
+		}
+		idx.Add(f)
+		n++
+		// Reservoir-sample the observations to attack.
+		if len(reservoir) < samples {
+			reservoir = append(reservoir, f)
+		} else if j := rng.Intn(n); j < samples {
+			reservoir[j] = f
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Clustering (the paper's §D / related-work [10] heuristic): link
+	// accounts activated by the same funder.
+	clusterer := deanon.NewClusterer()
+	if err := store.Pages(clusterer.Page); err != nil {
+		return err
+	}
+	clusters := clusterer.Clusters(2)
+	fmt.Printf("\nActivation clustering: %d multi-account clusters", len(clusters))
+	if len(clusters) > 0 {
+		fmt.Printf("; largest links %d accounts through %s",
+			len(clusters[0].Accounts), clusters[0].Activator.Short())
+	}
+	fmt.Println()
+	fmt.Println("(de-anonymizing any member exposes the whole cluster's history)")
+
+	unique, hit := 0, 0
+	for _, obs := range reservoir {
+		truth := obs.Sender
+		blinded := obs
+		blinded.Sender = [20]byte{}
+		cands := idx.Candidates(blinded)
+		if len(cands) == 1 {
+			unique++
+			if cands[0] == truth {
+				hit++
+			}
+		}
+	}
+	fmt.Printf("\nAttack demo at %s over %d sampled observations:\n", res, len(reservoir))
+	fmt.Printf("  uniquely identified: %d (%.1f%%); all unique identifications correct: %v\n",
+		unique, 100*float64(unique)/float64(len(reservoir)), unique == hit)
+	fmt.Println("\nAnyone who overhears a single payment can, with this probability,")
+	fmt.Println("link it to the sender's account — and thus to the account's entire")
+	fmt.Println("past and future financial history on the public ledger.")
+	return nil
+}

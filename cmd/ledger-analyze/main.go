@@ -1,0 +1,148 @@
+// Command ledger-analyze runs the appendix analyses (Figures 4–7 and the
+// offer-concentration measurement) over a ledgerstore directory produced
+// by ledger-gen.
+//
+//	ledger-analyze -store ./history
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ripplestudy/internal/analysis"
+	"ripplestudy/internal/core"
+	"ripplestudy/internal/ledgerstore"
+)
+
+func main() {
+	storeDir := flag.String("store", "history", "ledgerstore directory")
+	topK := flag.Int("top", 50, "intermediaries to list (Figure 7)")
+	flag.Parse()
+
+	if err := run(*storeDir, *topK); err != nil {
+		fmt.Fprintln(os.Stderr, "ledger-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(storeDir string, topK int) error {
+	store, err := ledgerstore.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	integrity, err := store.VerifyIntegrity()
+	if err != nil {
+		return err
+	}
+	if !integrity.ChainOK || integrity.PageErrors > 0 {
+		fmt.Printf("WARNING: store integrity: chainOK=%v (broken at %d), %d corrupt pages\n",
+			integrity.ChainOK, integrity.BrokenAt, integrity.PageErrors)
+	}
+
+	ds, err := core.OpenDataset(storeDir)
+	if err != nil {
+		return err
+	}
+	st, err := ds.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("history: %d pages (integrity ok), %d payments (%d failed), %d multi-hop, %d offers, %d active senders\n\n",
+		st.TotalPages, st.Payments, st.Failed, st.MultiHop, st.Offers, st.ActiveUsers)
+
+	hist, err := ds.Figure4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4 — most-used currencies:")
+	for i, h := range hist {
+		if i == 15 {
+			fmt.Printf("  ... and %d more\n", len(hist)-15)
+			break
+		}
+		fmt.Printf("  %-4s %9d\n", h.Currency, h.Payments)
+	}
+
+	curves, err := ds.Figure5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 5 — survival of amounts (fraction of payments above):")
+	thresholds := []float64{0.01, 1, 100, 10_000, 1e6, 1e8}
+	fmt.Printf("  %-7s", "curve")
+	for _, t := range thresholds {
+		fmt.Printf(" %8.0e", t)
+	}
+	fmt.Println()
+	for _, c := range curves {
+		pts := pick(c.Points, thresholds)
+		fmt.Printf("  %-7s", c.Label)
+		for _, p := range pts {
+			fmt.Printf(" %8.3f", p)
+		}
+		fmt.Println()
+	}
+
+	hops, parallel, err := ds.Figure6()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nFigure 6(a) — paths per intermediate-hop count:")
+	printHist(hops)
+	fmt.Println("Figure 6(b) — payments per parallel-path count:")
+	printHist(parallel)
+
+	conc, err := ds.OfferConcentration()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nOffer concentration: top-10 %.0f%%, top-50 %.0f%%, top-100 %.0f%%\n",
+		100*conc[10], 100*conc[50], 100*conc[100])
+
+	top, err := ds.Figure7(topK)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFigure 7 — top %d intermediaries:\n", len(top))
+	fmt.Printf("  %-24s %8s %10s %13s %13s %13s\n",
+		"account", "gateway", "times-hop", "trust-recv€", "trust-given€", "balance€")
+	for _, it := range top {
+		gw := ""
+		if it.Gateway {
+			gw = "yes"
+		}
+		fmt.Printf("  %-24s %8s %10d %13.3g %13.3g %13.3g\n",
+			it.Name, gw, it.TimesIntermediate,
+			it.Profile.TrustReceived, it.Profile.TrustGiven, it.Profile.NetBalance)
+	}
+	return nil
+}
+
+// pick samples the precomputed survival curve at the requested
+// thresholds (the curve's grid is a superset).
+func pick(points []analysis.SurvivalPoint, thresholds []float64) []float64 {
+	out := make([]float64, 0, len(thresholds))
+	for _, t := range thresholds {
+		best := 0.0
+		for _, p := range points {
+			if p.Amount <= t*1.0001 {
+				best = p.Fraction
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+func printHist(h map[int]int64) {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  %3d %9d\n", k, h[k])
+	}
+}

@@ -1,0 +1,53 @@
+// Command ledger-export streams a ledgerstore as newline-delimited JSON
+// (one page per line) to stdout or a file — the interchange path for
+// external tooling, and a human-inspectable view of the binary store.
+//
+//	ledger-export -store ./history | head -1 | jq .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ripplestudy/internal/ledgerstore"
+)
+
+func main() {
+	storeDir := flag.String("store", "history", "ledgerstore directory")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	if err := run(*storeDir, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ledger-export:", err)
+		os.Exit(1)
+	}
+}
+
+func run(storeDir, out string) error {
+	store, err := ledgerstore.Open(storeDir)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := store.ExportJSON(w); err != nil {
+		return err
+	}
+	if out != "-" {
+		st, err := store.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ledger-export: %d pages, %d transactions exported to %s\n",
+			st.Pages, st.Transactions, out)
+	}
+	return nil
+}

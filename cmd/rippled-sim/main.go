@@ -1,0 +1,124 @@
+// Command rippled-sim runs a consensus network for one of the paper's
+// collection periods and serves its validation stream over TCP, playing
+// the role of the live Ripple network the authors' collection server
+// subscribed to.
+//
+//	rippled-sim -listen 127.0.0.1:5006 -period dec2015 -rounds 2000
+//
+// Connect cmd/consensus-monitor to the same address to reproduce the
+// §IV data collection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/netstream"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5006", "TCP address for the validation stream")
+	period := flag.String("period", "dec2015", "collection period: dec2015|jul2016|nov2016")
+	rounds := flag.Int("rounds", 2000, "consensus rounds to run")
+	seed := flag.Int64("seed", 1, "random seed")
+	delay := flag.Duration("delay", 0, "real-time delay per round (0 = as fast as possible)")
+	wait := flag.Duration("wait", 2*time.Second, "time to wait for subscribers before starting")
+	tps := flag.Float64("tps", 0.5, "synthetic XRP payments per simulated second fed through consensus")
+	flag.Parse()
+
+	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps); err != nil {
+		fmt.Fprintln(os.Stderr, "rippled-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func periodSpec(name string, rounds int) (consensus.PeriodSpec, error) {
+	switch strings.ToLower(name) {
+	case "dec2015":
+		return consensus.December2015(rounds), nil
+	case "jul2016":
+		return consensus.July2016(rounds), nil
+	case "nov2016":
+		return consensus.November2016(rounds), nil
+	default:
+		return consensus.PeriodSpec{}, fmt.Errorf("unknown period %q (want dec2015|jul2016|nov2016)", name)
+	}
+}
+
+func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64) error {
+	spec, err := periodSpec(period, rounds)
+	if err != nil {
+		return err
+	}
+	srv, err := netstream.Serve(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("rippled-sim: serving validation stream on %s (%s, %d rounds, %d validators)\n",
+		srv.Addr(), spec.Name, rounds, len(spec.Specs))
+
+	// Give monitors a moment to connect before history starts flowing.
+	deadline := time.Now().Add(wait)
+	for time.Now().Before(deadline) && srv.NumSubscribers() == 0 {
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("rippled-sim: %d subscriber(s) connected, starting consensus\n", srv.NumSubscribers())
+
+	cfg := consensus.Config{Seed: seed, StartTime: spec.Start}
+	net := consensus.NewNetwork(cfg, spec.Specs)
+	net.Subscribe(srv.Publish)
+
+	// Synthetic traffic: simple XRP payments from a funded account, so
+	// sealed pages carry realistic transaction counts.
+	rng := rand.New(rand.NewSource(seed + 1))
+	trafficKey := addr.KeyPairFromSeed(987654)
+	net.Engine().Fund(trafficKey.AccountID(), 1_000_000_000_000)
+	perRound := tps * 5 // the default close interval is 5 simulated seconds
+	makeTraffic := func(round int) []*ledger.Tx {
+		n := int(perRound)
+		if rng.Float64() < perRound-float64(n) {
+			n++
+		}
+		txs := make([]*ledger.Tx, 0, n)
+		for i := 0; i < n; i++ {
+			tx := &ledger.Tx{
+				Type:        ledger.TxPayment,
+				Account:     trafficKey.AccountID(),
+				Sequence:    net.Engine().NextSequence(trafficKey.AccountID()) + uint32(i),
+				Fee:         10,
+				Destination: addr.KeyPairFromSeed(uint64(10000 + rng.Intn(500))).AccountID(),
+				Amount:      amount.XRPAmount(amount.Drops(1_000_000 + rng.Int63n(50_000_000))),
+			}
+			tx.Sign(trafficKey)
+			txs = append(txs, tx)
+		}
+		return txs
+	}
+
+	for i := 1; i <= rounds; i++ {
+		if _, err := net.RunRound(makeTraffic(i)); err != nil {
+			return err
+		}
+		if i%200 == 0 {
+			srv.Flush()
+			fmt.Printf("rippled-sim: round %d/%d, ledger %d\n", i, rounds, net.Chain().Tip().Header.Sequence)
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+	}
+	srv.Flush()
+	fmt.Printf("rippled-sim: done, %d main-chain pages closed\n", net.Chain().Len())
+	// Leave the stream open briefly so slow consumers drain.
+	time.Sleep(500 * time.Millisecond)
+	return nil
+}

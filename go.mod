@@ -1,0 +1,3 @@
+module ripplestudy
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package addr implements Ripple's identifier scheme: 160-bit account IDs
+// rendered in Ripple's base58 dialect with a checksum (addresses starting
+// with 'r'), validator node public keys (starting with 'n'), and the
+// ed25519 keypairs that sign transactions and validations.
+//
+// The paper's de-anonymization study targets exactly these identifiers:
+// "Ripple accounts are unambiguously identified by a 160 bits string,
+// typically displayed in a human-readable form by using the Base58
+// encoding."
+package addr
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// rippleAlphabet is Ripple's base58 alphabet. Unlike Bitcoin's, it begins
+// with 'r' so that version byte zero yields addresses starting with "r".
+const rippleAlphabet = "rpshnaf39wBUDNEGHJKLM4PQRST7VWXYZ2bcdeCg65jkm8oFqi1tuvAxyz"
+
+var decodeTable = func() [256]int8 {
+	var t [256]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for i := 0; i < len(rippleAlphabet); i++ {
+		t[rippleAlphabet[i]] = int8(i)
+	}
+	return t
+}()
+
+// Version bytes for the token types used in this repository.
+const (
+	// VersionAccountID prefixes 20-byte account identifiers; the encoded
+	// form starts with 'r'.
+	VersionAccountID byte = 0x00
+	// VersionNodePublic prefixes 33-byte validator node public keys; the
+	// encoded form starts with 'n'.
+	VersionNodePublic byte = 0x1c
+)
+
+// ErrChecksum is returned when a base58check token fails checksum
+// verification.
+var ErrChecksum = errors.New("addr: bad base58 checksum")
+
+// checksum returns the first four bytes of double-SHA256, the base58check
+// integrity tag.
+func checksum(payload []byte) [4]byte {
+	first := sha256.Sum256(payload)
+	second := sha256.Sum256(first[:])
+	var c [4]byte
+	copy(c[:], second[:4])
+	return c
+}
+
+// EncodeBase58Check encodes version ∥ payload ∥ checksum in Ripple's
+// base58 alphabet.
+func EncodeBase58Check(version byte, payload []byte) string {
+	full := make([]byte, 0, len(payload)+5)
+	full = append(full, version)
+	full = append(full, payload...)
+	sum := checksum(full)
+	full = append(full, sum[:]...)
+	return encodeBase58(full)
+}
+
+// DecodeBase58Check decodes a Ripple base58check token, verifying the
+// checksum and the expected version byte, and returns the payload.
+func DecodeBase58Check(s string, wantVersion byte) ([]byte, error) {
+	full, err := decodeBase58(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(full) < 5 {
+		return nil, fmt.Errorf("addr: token %q too short", s)
+	}
+	payload, sum := full[:len(full)-4], full[len(full)-4:]
+	want := checksum(payload)
+	if [4]byte(sum) != want {
+		return nil, ErrChecksum
+	}
+	if payload[0] != wantVersion {
+		return nil, fmt.Errorf("addr: token %q: version 0x%02x, want 0x%02x", s, payload[0], wantVersion)
+	}
+	return payload[1:], nil
+}
+
+// encodeBase58 converts bytes to Ripple base58, preserving leading zero
+// bytes as leading 'r' characters.
+func encodeBase58(input []byte) string {
+	zeros := 0
+	for zeros < len(input) && input[zeros] == 0 {
+		zeros++
+	}
+	// Upper bound on output size: log(256)/log(58) ≈ 1.37 digits per byte.
+	size := (len(input)-zeros)*138/100 + 1
+	buf := make([]byte, size)
+	high := size - 1
+	for _, b := range input[zeros:] {
+		carry := int(b)
+		i := size - 1
+		for ; i > high || carry != 0; i-- {
+			carry += 256 * int(buf[i])
+			buf[i] = byte(carry % 58)
+			carry /= 58
+		}
+		high = i
+	}
+	// Skip leading zero digits in buf.
+	start := 0
+	for start < size && buf[start] == 0 {
+		start++
+	}
+	out := make([]byte, 0, zeros+size-start)
+	for i := 0; i < zeros; i++ {
+		out = append(out, rippleAlphabet[0])
+	}
+	for _, d := range buf[start:] {
+		out = append(out, rippleAlphabet[d])
+	}
+	return string(out)
+}
+
+// decodeBase58 converts a Ripple base58 string back to bytes.
+func decodeBase58(s string) ([]byte, error) {
+	if s == "" {
+		return nil, errors.New("addr: empty base58 string")
+	}
+	zeros := 0
+	for zeros < len(s) && s[zeros] == rippleAlphabet[0] {
+		zeros++
+	}
+	size := len(s)*733/1000 + 1 // log(58)/log(256) ≈ 0.733
+	buf := make([]byte, size)
+	high := size - 1
+	for k := zeros; k < len(s); k++ {
+		d := decodeTable[s[k]]
+		if d < 0 {
+			return nil, fmt.Errorf("addr: invalid base58 character %q", s[k])
+		}
+		carry := int(d)
+		i := size - 1
+		for ; i > high || carry != 0; i-- {
+			if i < 0 {
+				return nil, fmt.Errorf("addr: base58 string %q overflows", s)
+			}
+			carry += 58 * int(buf[i])
+			buf[i] = byte(carry % 256)
+			carry /= 256
+		}
+		high = i
+	}
+	start := 0
+	for start < size && buf[start] == 0 {
+		start++
+	}
+	out := make([]byte, 0, zeros+size-start)
+	out = append(out, make([]byte, zeros)...)
+	out = append(out, buf[start:]...)
+	return out, nil
+}

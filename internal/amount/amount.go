@@ -1,0 +1,166 @@
+package amount
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DropsPerXRP is the number of drops in one XRP. The ledger accounts XRP
+// in integral drops; user-facing amounts are in XRP.
+const DropsPerXRP = 1_000_000
+
+// Drops is an integral quantity of the native currency, as stored in
+// account balances and destroyed as transaction fees.
+type Drops int64
+
+// XRPValue converts a whole number of drops into a decimal Value expressed
+// in XRP units, the representation used in payment amounts and analyses.
+func (d Drops) XRPValue() Value {
+	v, err := NewValue(int64(d), -6)
+	if err != nil {
+		panic(err) // unreachable: int64 drops always fit
+	}
+	return v
+}
+
+// String renders the drops as an XRP decimal, e.g. "1.5" for 1500000.
+func (d Drops) String() string { return d.XRPValue().String() }
+
+// DropsFromValue converts an XRP-denominated Value into drops, truncating
+// any fraction of a drop toward zero. It returns an error when the value
+// does not fit in an int64 number of drops.
+func DropsFromValue(v Value) (Drops, error) {
+	if v.IsZero() {
+		return 0, nil
+	}
+	// drops = mantissa × 10^(exponent+6)
+	e := v.Exponent() + 6
+	m := v.Mantissa()
+	switch {
+	case e >= 0:
+		if e >= len(pow10) || m > uint64(1<<63-1)/pow10[e] {
+			return 0, fmt.Errorf("amount: %s XRP overflows drops", v)
+		}
+		m *= pow10[e]
+	default:
+		if -e >= len(pow10) {
+			return 0, nil
+		}
+		m /= pow10[-e]
+	}
+	d := Drops(m)
+	if v.IsNegative() {
+		d = -d
+	}
+	return d, nil
+}
+
+// Amount is a quantity of a specific currency: the unit of payments,
+// offers, and balances throughout the study. For the native currency the
+// Value is denominated in XRP (not drops). Issued-currency amounts carry
+// the issuer at the ledger layer, not here: the paper's analyses treat
+// currency codes, not (code, issuer) pairs, as the currency feature C.
+type Amount struct {
+	Currency Currency `json:"currency"`
+	Value    Value    `json:"value"`
+}
+
+// New returns an Amount of the given currency and value.
+func New(c Currency, v Value) Amount { return Amount{Currency: c, Value: v} }
+
+// XRPAmount returns an Amount of d drops denominated in XRP.
+func XRPAmount(d Drops) Amount { return Amount{Currency: XRP, Value: d.XRPValue()} }
+
+// IsZero reports whether the amount's value is zero.
+func (a Amount) IsZero() bool { return a.Value.IsZero() }
+
+// IsNegative reports whether the amount's value is negative.
+func (a Amount) IsNegative() bool { return a.Value.IsNegative() }
+
+// SameCurrency reports whether a and b are denominated in the same
+// currency.
+func (a Amount) SameCurrency(b Amount) bool { return a.Currency == b.Currency }
+
+// Add returns a + b. It is an error to add amounts of different
+// currencies.
+func (a Amount) Add(b Amount) (Amount, error) {
+	if !a.SameCurrency(b) {
+		return Amount{}, fmt.Errorf("amount: cannot add %s and %s", a.Currency, b.Currency)
+	}
+	v, err := a.Value.Add(b.Value)
+	if err != nil {
+		return Amount{}, err
+	}
+	return Amount{Currency: a.Currency, Value: v}, nil
+}
+
+// Sub returns a - b. It is an error to subtract amounts of different
+// currencies.
+func (a Amount) Sub(b Amount) (Amount, error) {
+	if !a.SameCurrency(b) {
+		return Amount{}, fmt.Errorf("amount: cannot subtract %s from %s", b.Currency, a.Currency)
+	}
+	v, err := a.Value.Sub(b.Value)
+	if err != nil {
+		return Amount{}, err
+	}
+	return Amount{Currency: a.Currency, Value: v}, nil
+}
+
+// String renders the amount as "value/CUR", e.g. "4.5/USD".
+func (a Amount) String() string { return a.Value.String() + "/" + a.Currency.String() }
+
+// ParseAmount parses the "value/CUR" form produced by Amount.String.
+func ParseAmount(s string) (Amount, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Amount{}, fmt.Errorf("amount: %q: want value/CUR", s)
+	}
+	v, err := Parse(s[:i])
+	if err != nil {
+		return Amount{}, err
+	}
+	c, err := NewCurrency(s[i+1:])
+	if err != nil {
+		return Amount{}, err
+	}
+	return Amount{Currency: c, Value: v}, nil
+}
+
+// MustAmount is like ParseAmount but panics on error. Intended for tests.
+func MustAmount(s string) Amount {
+	a, err := ParseAmount(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// FormatDrops renders a raw drop count with thousands separators for
+// human-readable reports.
+func FormatDrops(d Drops) string {
+	s := strconv.FormatInt(int64(d), 10)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+		if len(s) > lead {
+			b.WriteByte(',')
+		}
+	}
+	for i := lead; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}

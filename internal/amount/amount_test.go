@@ -1,0 +1,197 @@
+package amount
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCurrencyParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"USD", "USD", false},
+		{"XRP", "XRP", false},
+		{"", "XRP", false},
+		{"CCK", "CCK", false},
+		{"usd", "usd", false}, // codes are case-sensitive byte triples
+		{"US", "", true},
+		{"USDX", "", true},
+		{"U D", "", true},
+	}
+	for _, tt := range tests {
+		c, err := NewCurrency(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("NewCurrency(%q): err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && c.String() != tt.want {
+			t.Errorf("NewCurrency(%q) = %q, want %q", tt.in, c, tt.want)
+		}
+	}
+}
+
+func TestCurrencyTextRoundTrip(t *testing.T) {
+	for _, c := range []Currency{XRP, USD, BTC, MTL} {
+		text, err := c.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Currency
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != c {
+			t.Errorf("round trip %s -> %s", c, back)
+		}
+	}
+}
+
+func TestStrengthOf(t *testing.T) {
+	tests := []struct {
+		c    Currency
+		want Strength
+	}{
+		{BTC, StrengthPowerful},
+		{XAU, StrengthPowerful},
+		{USD, StrengthMedium},
+		{EUR, StrengthMedium},
+		{JPY, StrengthMedium},
+		{XRP, StrengthWeak},
+		{MTL, StrengthWeak},
+		{KRW, StrengthWeak},
+		{MustCurrency("ZZZ"), StrengthMedium}, // unlisted defaults to medium
+	}
+	for _, tt := range tests {
+		if got := StrengthOf(tt.c); got != tt.want {
+			t.Errorf("StrengthOf(%s) = %s, want %s", tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestDropsConversions(t *testing.T) {
+	tests := []struct {
+		d    Drops
+		want string
+	}{
+		{0, "0"},
+		{1, "0.000001"},
+		{1_500_000, "1.5"},
+		{DropsPerXRP, "1"},
+		{-2_500_000, "-2.5"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Drops(%d).String() = %q, want %q", tt.d, got, tt.want)
+		}
+		back, err := DropsFromValue(tt.d.XRPValue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != tt.d {
+			t.Errorf("round trip Drops(%d) -> %d", tt.d, back)
+		}
+	}
+}
+
+func TestDropsFromValueTruncates(t *testing.T) {
+	v := MustParse("0.0000015") // 1.5 drops
+	d, err := DropsFromValue(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("DropsFromValue(0.0000015 XRP) = %d, want 1 (truncated)", d)
+	}
+}
+
+func TestDropsFromValueOverflow(t *testing.T) {
+	if _, err := DropsFromValue(MustParse("1e30")); err == nil {
+		t.Error("DropsFromValue(1e30 XRP): want overflow error")
+	}
+}
+
+func TestAmountArithmetic(t *testing.T) {
+	a := MustAmount("4.5/USD")
+	b := MustAmount("0.5/USD")
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.String() != "5/USD" {
+		t.Errorf("4.5/USD + 0.5/USD = %s, want 5/USD", sum)
+	}
+	diff, err := a.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.String() != "4/USD" {
+		t.Errorf("4.5/USD - 0.5/USD = %s, want 4/USD", diff)
+	}
+	if _, err := a.Add(MustAmount("1/EUR")); err == nil {
+		t.Error("adding USD and EUR: want error")
+	}
+	if _, err := a.Sub(MustAmount("1/EUR")); err == nil {
+		t.Error("subtracting EUR from USD: want error")
+	}
+}
+
+func TestAmountParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string // expected String() when no error
+		wantErr bool
+	}{
+		{"4.5/USD", "4.5/USD", false},
+		{"100/XRP", "100/XRP", false},
+		{"1e9/MTL", "1000000000/MTL", false},
+		{"4.5", "", true},
+		{"x/USD", "", true},
+		{"4.5/TOOLONG", "", true},
+	}
+	for _, tt := range tests {
+		a, err := ParseAmount(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseAmount(%q): err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && a.String() != tt.want {
+			t.Errorf("ParseAmount(%q).String() = %q, want %q", tt.in, a.String(), tt.want)
+		}
+	}
+}
+
+func TestAmountJSON(t *testing.T) {
+	a := MustAmount("1234.56/EUR")
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Amount
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Errorf("JSON round trip %s -> %s", a, back)
+	}
+}
+
+func TestFormatDrops(t *testing.T) {
+	tests := []struct {
+		d    Drops
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{1234, "1,234"},
+		{1234567, "1,234,567"},
+		{-9876543, "-9,876,543"},
+		{100, "100"},
+	}
+	for _, tt := range tests {
+		if got := FormatDrops(tt.d); got != tt.want {
+			t.Errorf("FormatDrops(%d) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}

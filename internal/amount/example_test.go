@@ -1,0 +1,42 @@
+package amount_test
+
+import (
+	"fmt"
+
+	"ripplestudy/internal/amount"
+)
+
+func ExampleParse() {
+	v := amount.MustParse("4.5")
+	sum, _ := v.Add(amount.MustParse("0.75"))
+	fmt.Println(sum)
+	// Output: 5.25
+}
+
+func ExampleValue_RoundToPow10() {
+	// Table I's "maximum" resolution for a medium currency rounds to
+	// the closest ten: the 4.5 USD latte becomes indistinguishable from
+	// zero, yet the timestamp still betrays the payment (Figure 3).
+	latte := amount.MustParse("4.5")
+	fmt.Println(latte.RoundToPow10(1))
+	fmt.Println(amount.MustParse("47").RoundToPow10(1))
+	// Output:
+	// 0
+	// 50
+}
+
+func ExampleDrops_XRPValue() {
+	fee := amount.Drops(10)
+	fmt.Printf("%s XRP destroyed per transaction\n", fee.XRPValue())
+	// Output: 0.00001 XRP destroyed per transaction
+}
+
+func ExampleStrengthOf() {
+	for _, c := range []amount.Currency{amount.BTC, amount.USD, amount.XRP} {
+		fmt.Printf("%s is %s\n", c, amount.StrengthOf(c))
+	}
+	// Output:
+	// BTC is powerful
+	// USD is medium
+	// XRP is weak
+}

@@ -1,0 +1,391 @@
+// Package analysis implements the paper's appendix: the in-depth
+// exploration of the ledger. A single streaming Collector folds pages in
+// once and answers every appendix question: the most-used currencies
+// (Fig. 4), the survival functions of payment amounts (Fig. 5), the
+// path-length and parallel-path distributions (Fig. 6), the most
+// frequent intermediaries with their trust and balance profiles
+// (Fig. 7), and the concentration of exchange offers over market makers.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/trustgraph"
+)
+
+// logBucket parameters: amounts are histogrammed at 0.1-decade
+// granularity across 10^-10 .. 10^14, which reconstructs survival
+// functions without retaining every amount.
+const (
+	bucketPerDecade = 10
+	minDecade       = -10
+	maxDecade       = 14
+	numBuckets      = (maxDecade - minDecade) * bucketPerDecade
+)
+
+type histogram struct {
+	buckets [numBuckets]int64
+	total   int64
+}
+
+func (h *histogram) add(v float64) {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	d := math.Log10(v)
+	idx := int((d - minDecade) * bucketPerDecade)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	h.buckets[idx]++
+	h.total++
+}
+
+// survival returns P(amount > x).
+func (h *histogram) survival(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if x <= 0 {
+		return 1
+	}
+	d := math.Log10(x)
+	idx := int((d - minDecade) * bucketPerDecade)
+	if idx < 0 {
+		return 1
+	}
+	if idx >= numBuckets {
+		return 0
+	}
+	var above int64
+	for i := idx + 1; i < numBuckets; i++ {
+		above += h.buckets[i]
+	}
+	return float64(above) / float64(h.total)
+}
+
+// Collector accumulates the appendix statistics from a stream of pages.
+// It is not safe for concurrent use.
+type Collector struct {
+	payments  int64
+	failed    int64
+	transacts int64
+
+	byCurrency map[amount.Currency]int64
+	amounts    map[amount.Currency]*histogram
+	global     histogram
+
+	hopHist      map[int]int64 // per-path intermediate hops (Fig. 6a)
+	parallelHist map[int]int64 // parallel paths per payment (Fig. 6b)
+	multiHop     int64
+
+	intermediary map[addr.AccountID]int64
+
+	offersByOwner map[addr.AccountID]int64
+	offersTotal   int64
+
+	senders, receivers map[addr.AccountID]struct{}
+
+	feesByAccount map[addr.AccountID]amount.Drops
+	feesTotal     amount.Drops
+
+	resultCounts map[ledger.TxResult]int64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		byCurrency:    make(map[amount.Currency]int64),
+		amounts:       make(map[amount.Currency]*histogram),
+		hopHist:       make(map[int]int64),
+		parallelHist:  make(map[int]int64),
+		intermediary:  make(map[addr.AccountID]int64),
+		offersByOwner: make(map[addr.AccountID]int64),
+		senders:       make(map[addr.AccountID]struct{}),
+		receivers:     make(map[addr.AccountID]struct{}),
+		feesByAccount: make(map[addr.AccountID]amount.Drops),
+		resultCounts:  make(map[ledger.TxResult]int64),
+	}
+}
+
+// Page folds one ledger page into the statistics.
+func (c *Collector) Page(p *ledger.Page) error {
+	for i, tx := range p.Txs {
+		meta := p.Metas[i]
+		c.transacts++
+		// Fee accounting: every included transaction burns its fee —
+		// Ripple's anti-spam design ("a small XRP fee is collected for
+		// each transaction ... destroyed after the transaction is
+		// confirmed").
+		c.feesByAccount[tx.Account] += tx.Fee
+		c.feesTotal += tx.Fee
+		c.resultCounts[meta.Result]++
+		switch tx.Type {
+		case ledger.TxOfferCreate:
+			if meta.Result.Succeeded() {
+				c.offersByOwner[tx.Account]++
+				c.offersTotal++
+			}
+		case ledger.TxPayment:
+			if !meta.Result.Succeeded() {
+				c.failed++
+				continue
+			}
+			c.payments++
+			c.byCurrency[tx.Amount.Currency]++
+			h := c.amounts[tx.Amount.Currency]
+			if h == nil {
+				h = &histogram{}
+				c.amounts[tx.Amount.Currency] = h
+			}
+			f := tx.Amount.Value.Float64()
+			h.add(f)
+			c.global.add(f)
+			c.senders[tx.Account] = struct{}{}
+			c.receivers[tx.Destination] = struct{}{}
+			// The paper's Figure 6 set is the payments that "require
+			// more than one hop on the trust-lines": at least one
+			// intermediate account. Direct transfers (trust-line
+			// neighbours, direct XRP) are excluded.
+			if meta.MaxHops() >= 1 {
+				c.multiHop++
+				c.parallelHist[len(meta.PathHops)]++
+				for _, hops := range meta.PathHops {
+					c.hopHist[int(hops)]++
+				}
+			}
+			for _, mid := range meta.Intermediaries {
+				c.intermediary[mid]++
+			}
+		}
+	}
+	return nil
+}
+
+// Payments returns the number of successful payments folded in.
+func (c *Collector) Payments() int64 { return c.payments }
+
+// FailedPayments returns the number of failed payment transactions.
+func (c *Collector) FailedPayments() int64 { return c.failed }
+
+// MultiHopPayments returns payments that used at least one trust path
+// (the paper's "10M transactions that require more than one hop").
+func (c *Collector) MultiHopPayments() int64 { return c.multiHop }
+
+// ActiveAccounts returns the number of distinct payment senders.
+func (c *Collector) ActiveAccounts() int { return len(c.senders) }
+
+// CurrencyCount is one bar of Figure 4.
+type CurrencyCount struct {
+	Currency amount.Currency
+	Payments int64
+}
+
+// CurrencyHistogram returns currencies by descending payment count —
+// Figure 4.
+func (c *Collector) CurrencyHistogram() []CurrencyCount {
+	out := make([]CurrencyCount, 0, len(c.byCurrency))
+	for cur, n := range c.byCurrency {
+		out = append(out, CurrencyCount{Currency: cur, Payments: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Payments != out[j].Payments {
+			return out[i].Payments > out[j].Payments
+		}
+		return out[i].Currency.String() < out[j].Currency.String()
+	})
+	return out
+}
+
+// SurvivalPoint is one sample of a Figure 5 curve.
+type SurvivalPoint struct {
+	Amount   float64
+	Fraction float64 // P(payment amount > Amount)
+}
+
+// Survival samples the survival function of the currency's payment
+// amounts at the given thresholds. The zero currency with global=true
+// gives the currency-unaware "Global" curve.
+func (c *Collector) Survival(cur amount.Currency, global bool, thresholds []float64) []SurvivalPoint {
+	h := &c.global
+	if !global {
+		h = c.amounts[cur]
+		if h == nil {
+			return nil
+		}
+	}
+	out := make([]SurvivalPoint, 0, len(thresholds))
+	for _, x := range thresholds {
+		out = append(out, SurvivalPoint{Amount: x, Fraction: h.survival(x)})
+	}
+	return out
+}
+
+// DefaultSurvivalGrid returns the paper's x-axis: powers of ten from
+// 10^-4 to 10^12.
+func DefaultSurvivalGrid() []float64 {
+	var out []float64
+	for d := -4; d <= 12; d++ {
+		out = append(out, math.Pow(10, float64(d)))
+	}
+	return out
+}
+
+// HopHistogram returns path counts by intermediate hops — Figure 6(a).
+func (c *Collector) HopHistogram() map[int]int64 {
+	out := make(map[int]int64, len(c.hopHist))
+	for k, v := range c.hopHist {
+		out[k] = v
+	}
+	return out
+}
+
+// ParallelHistogram returns payment counts by number of parallel paths —
+// Figure 6(b).
+func (c *Collector) ParallelHistogram() map[int]int64 {
+	out := make(map[int]int64, len(c.parallelHist))
+	for k, v := range c.parallelHist {
+		out[k] = v
+	}
+	return out
+}
+
+// Intermediary is one bar of Figure 7(a), optionally annotated with the
+// trust/balance profile of Figures 7(b) and 7(c).
+type Intermediary struct {
+	Account addr.AccountID
+	Name    string
+	Gateway bool
+	// TimesIntermediate counts appearances as an intermediate hop.
+	TimesIntermediate int64
+	// Profile aggregates trust and balances (filled by ProfileTop).
+	Profile trustgraph.Profile
+}
+
+// Namer resolves display names and gateway status; synth.Registry
+// satisfies it.
+type Namer interface {
+	Name(addr.AccountID) string
+	IsGateway(addr.AccountID) bool
+}
+
+// TopIntermediaries returns the k accounts appearing most often as
+// intermediate hops — Figure 7(a).
+func (c *Collector) TopIntermediaries(k int, names Namer) []Intermediary {
+	out := make([]Intermediary, 0, len(c.intermediary))
+	for a, n := range c.intermediary {
+		it := Intermediary{Account: a, TimesIntermediate: n}
+		if names != nil {
+			it.Name = names.Name(a)
+			it.Gateway = names.IsGateway(a)
+		} else {
+			it.Name = a.Short()
+		}
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TimesIntermediate != out[j].TimesIntermediate {
+			return out[i].TimesIntermediate > out[j].TimesIntermediate
+		}
+		return out[i].Account.String() < out[j].Account.String()
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// ProfileTop fills the trust/balance profiles of the intermediaries from
+// the final credit network — Figures 7(b) and 7(c). rate converts each
+// currency into the reference currency (the paper uses EUR).
+func ProfileTop(top []Intermediary, g *trustgraph.Graph, rate func(amount.Currency) float64) {
+	for i := range top {
+		top[i].Profile = g.ProfileOf(top[i].Account, rate)
+	}
+}
+
+// OfferConcentration returns, for each k in ks, the fraction of all
+// offers placed by the k most active offer creators — the appendix's
+// "44M (50%) are generated by 10 Market Makers only" measurement.
+func (c *Collector) OfferConcentration(ks []int) map[int]float64 {
+	counts := make([]int64, 0, len(c.offersByOwner))
+	for _, n := range c.offersByOwner {
+		counts = append(counts, n)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	out := make(map[int]float64, len(ks))
+	for _, k := range ks {
+		var topK int64
+		for i := 0; i < k && i < len(counts); i++ {
+			topK += counts[i]
+		}
+		if c.offersTotal == 0 {
+			out[k] = 0
+		} else {
+			out[k] = float64(topK) / float64(c.offersTotal)
+		}
+	}
+	return out
+}
+
+// TotalOffers returns the number of successful OfferCreate transactions.
+func (c *Collector) TotalOffers() int64 { return c.offersTotal }
+
+// ResultCounts returns how many transactions landed on each engine
+// result code — the health profile of the history.
+func (c *Collector) ResultCounts() map[ledger.TxResult]int64 {
+	out := make(map[ledger.TxResult]int64, len(c.resultCounts))
+	for k, v := range c.resultCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// FeePayer is one row of the spam-cost analysis: an account and the XRP
+// it burned in fees.
+type FeePayer struct {
+	Account addr.AccountID
+	Name    string
+	Fees    amount.Drops
+	Share   float64 // of all fees burned
+}
+
+// TotalFees returns the XRP destroyed across the history.
+func (c *Collector) TotalFees() amount.Drops { return c.feesTotal }
+
+// TopFeePayers ranks accounts by fees burned — the cost side of the
+// paper's spam campaigns: the MTL and CCK attackers and the
+// ACCOUNT_ZERO spammers dominate this list, quantifying how much the
+// anti-spam fee actually charged them.
+func (c *Collector) TopFeePayers(k int, names Namer) []FeePayer {
+	out := make([]FeePayer, 0, len(c.feesByAccount))
+	for a, f := range c.feesByAccount {
+		fp := FeePayer{Account: a, Fees: f}
+		if names != nil {
+			fp.Name = names.Name(a)
+		} else {
+			fp.Name = a.Short()
+		}
+		if c.feesTotal > 0 {
+			fp.Share = float64(f) / float64(c.feesTotal)
+		}
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fees != out[j].Fees {
+			return out[i].Fees > out[j].Fees
+		}
+		return out[i].Account.String() < out[j].Account.String()
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package consensus
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/ledger"
+)
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	kp := addr.KeyPairFromSeed(5)
+	h := ledger.SHA512Half([]byte("page"))
+	ev := Event{
+		Kind:       EventValidation,
+		Seq:        42,
+		LedgerHash: h,
+		Node:       kp.NodeID(),
+		Signature:  kp.Sign(h[:]),
+		Time:       time.Date(2015, 12, 3, 10, 0, 5, 0, time.UTC),
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != ev.Kind || back.Seq != ev.Seq || back.LedgerHash != ev.LedgerHash ||
+		back.Node != ev.Node || !back.Time.Equal(ev.Time) {
+		t.Errorf("round trip mangled event:\n%+v\n%+v", ev, back)
+	}
+	if !addr.Verify(back.Node.PublicKey(), back.LedgerHash[:], back.Signature) {
+		t.Error("signature broken by JSON round trip")
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	tests := map[Behavior]string{
+		BehaviorActive:  "active",
+		BehaviorLaggard: "laggard",
+		BehaviorForked:  "forked",
+		BehaviorTestnet: "testnet",
+	}
+	for b, want := range tests {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", b, b.String(), want)
+		}
+	}
+	if Behavior(77).String() == "" {
+		t.Error("unknown behavior should still render")
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ValidationQuorum != 0.8 {
+		t.Errorf("quorum = %v, want 0.8", cfg.ValidationQuorum)
+	}
+	if len(cfg.Thresholds) == 0 || cfg.Thresholds[0] != 0.5 {
+		t.Errorf("thresholds = %v, want rising from 0.5", cfg.Thresholds)
+	}
+	if cfg.CloseInterval != 5*time.Second {
+		t.Errorf("close interval = %v, want 5s", cfg.CloseInterval)
+	}
+}
+
+func TestValidatorDisplayName(t *testing.T) {
+	labelled := newValidator(ValidatorSpec{Label: "bitstamp.net", Seed: 1})
+	if labelled.DisplayName() != "bitstamp.net" {
+		t.Errorf("labelled name = %q", labelled.DisplayName())
+	}
+	anon := newValidator(ValidatorSpec{Seed: 2})
+	if anon.DisplayName() == "" || anon.DisplayName()[0] != 'n' {
+		t.Errorf("anonymous name = %q, want truncated node key", anon.DisplayName())
+	}
+}

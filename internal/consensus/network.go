@@ -1,0 +1,465 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/payment"
+)
+
+// Config parameterizes a consensus network.
+type Config struct {
+	// Thresholds is the rising agreement schedule of the proposal
+	// phase. rippled raises the required majority across proposal
+	// iterations; the analyses of the protocol ([7], [8] in the paper)
+	// led to the current 80% final quorum.
+	Thresholds []float64
+	// ValidationQuorum is the fraction of the trusted list whose
+	// signatures make a page fully validated (0.8 in Ripple).
+	ValidationQuorum float64
+	// TxDropRate is the probability that a candidate transaction fails
+	// to reach one validator before proposals start (network
+	// propagation loss) — the source of disputes.
+	TxDropRate float64
+	// CloseInterval is the simulated wall-clock time between ledger
+	// closes ("paying someone ... takes, on average, from 5 to 10
+	// seconds").
+	CloseInterval time.Duration
+	// Seed drives all randomness in the simulation.
+	Seed int64
+	// StartTime anchors the simulated clock.
+	StartTime time.Time
+}
+
+// DefaultConfig returns the production-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		Thresholds:       []float64{0.5, 0.65, 0.7, 0.95},
+		ValidationQuorum: 0.8,
+		TxDropRate:       0.02,
+		CloseInterval:    5 * time.Second,
+		Seed:             1,
+		StartTime:        time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// EventKind discriminates stream events.
+type EventKind int
+
+const (
+	// EventValidation is one validator's signed validation of a page.
+	EventValidation EventKind = iota + 1
+	// EventLedgerClosed announces a fully validated main-chain page.
+	EventLedgerClosed
+)
+
+// Event is one entry of the validation stream — the data source the
+// paper's collection server subscribed to.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Seq is the ledger sequence the event refers to.
+	Seq uint64 `json:"seq"`
+	// LedgerHash is the page hash signed (validations) or committed
+	// (closes).
+	LedgerHash ledger.Hash `json:"ledger_hash"`
+	// Node identifies the signing validator (validations only).
+	Node addr.NodeID `json:"node,omitempty"`
+	// Signature is the validator's signature over the page hash.
+	Signature []byte `json:"signature,omitempty"`
+	// Time is the simulated time of the event.
+	Time time.Time `json:"time"`
+	// TxCount is the number of transactions sealed (closes only).
+	TxCount int `json:"tx_count,omitempty"`
+}
+
+// RoundResult summarizes one consensus round.
+type RoundResult struct {
+	Page          *ledger.Page
+	Validated     bool
+	Validations   int // signatures matching the canonical page
+	ProposalIters int
+	Deferred      []*ledger.Tx // transactions that failed to converge
+}
+
+// Network simulates the validator network plus the canonical ledger
+// state machine. It is not safe for concurrent use.
+type Network struct {
+	cfg        Config
+	rng        *rand.Rand
+	validators []*validator
+
+	engine *payment.Engine
+	chain  *ledger.Chain
+
+	// testnet: the parallel chain the test-net cluster validates.
+	testChain *ledger.Chain
+
+	round int
+	now   time.Time
+
+	subscribers []func(Event)
+}
+
+// NewNetwork creates a network with the given validators over a fresh
+// genesis state.
+func NewNetwork(cfg Config, specs []ValidatorSpec) *Network {
+	if cfg.ValidationQuorum == 0 {
+		cfg.ValidationQuorum = 0.8
+	}
+	if len(cfg.Thresholds) == 0 {
+		cfg.Thresholds = DefaultConfig().Thresholds
+	}
+	if cfg.CloseInterval == 0 {
+		cfg.CloseInterval = 5 * time.Second
+	}
+	if cfg.StartTime.IsZero() {
+		cfg.StartTime = DefaultConfig().StartTime
+	}
+	n := &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		engine:    payment.NewEngine(),
+		chain:     ledger.NewChain(ledger.Genesis("main", ledger.CloseTimeFromTime(cfg.StartTime))),
+		testChain: ledger.NewChain(ledger.Genesis("testnet", ledger.CloseTimeFromTime(cfg.StartTime))),
+		now:       cfg.StartTime,
+	}
+	for _, spec := range specs {
+		n.validators = append(n.validators, newValidator(spec))
+	}
+	return n
+}
+
+// Engine exposes the canonical state machine (e.g. to fund accounts
+// before a simulation).
+func (n *Network) Engine() *payment.Engine { return n.engine }
+
+// Chain exposes the canonical main chain.
+func (n *Network) Chain() *ledger.Chain { return n.chain }
+
+// TestChain exposes the parallel test-net chain.
+func (n *Network) TestChain() *ledger.Chain { return n.testChain }
+
+// Round returns the number of completed rounds.
+func (n *Network) Round() int { return n.round }
+
+// Now returns the simulated clock.
+func (n *Network) Now() time.Time { return n.now }
+
+// Subscribe registers a stream consumer. Events are delivered
+// synchronously during RunRound, in deterministic order.
+func (n *Network) Subscribe(fn func(Event)) { n.subscribers = append(n.subscribers, fn) }
+
+func (n *Network) emit(ev Event) {
+	for _, fn := range n.subscribers {
+		fn(ev)
+	}
+}
+
+// Disable takes validators down (hijack or DoS): they stop proposing and
+// signing, but remain on the trusted lists and keep counting against the
+// validation quorum. It returns how many validators matched.
+func (n *Network) Disable(labels ...string) int {
+	hit := 0
+	for _, v := range n.validators {
+		for _, l := range labels {
+			if v.spec.Label == l || v.DisplayName() == l {
+				v.disabled = true
+				hit++
+			}
+		}
+	}
+	return hit
+}
+
+// DisableTopActives takes down the k first trusted active validators —
+// the paper's attack on "the majority of these validators".
+func (n *Network) DisableTopActives(k int) int {
+	hit := 0
+	for _, v := range n.validators {
+		if hit == k {
+			break
+		}
+		if v.spec.Behavior == BehaviorActive && v.spec.Trusted && !v.disabled {
+			v.disabled = true
+			hit++
+		}
+	}
+	return hit
+}
+
+// Validators returns the display names of all configured validators, for
+// reports.
+func (n *Network) Validators() []string {
+	out := make([]string, len(n.validators))
+	for i, v := range n.validators {
+		out[i] = v.DisplayName()
+	}
+	return out
+}
+
+// NodeIDOf returns the node ID for a configured validator label, for
+// tests and registries.
+func (n *Network) NodeIDOf(label string) (addr.NodeID, bool) {
+	for _, v := range n.validators {
+		if v.spec.Label == label || v.DisplayName() == label {
+			return v.id, true
+		}
+	}
+	return addr.NodeID{}, false
+}
+
+// RunRound executes one full consensus round over the candidate
+// transactions: proposal convergence, canonical application, validation
+// broadcast, and the parallel test-net close. Deferred transactions (ones
+// that failed to reach agreement) are reported for resubmission.
+func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
+	n.round++
+	n.now = n.now.Add(n.cfg.CloseInterval)
+
+	// Gather the active validators present this round.
+	var actives []*validator
+	for _, v := range n.validators {
+		if v.spec.Behavior == BehaviorActive && !v.disabled && v.present(n.round) && n.rng.Float64() < v.spec.Availability {
+			actives = append(actives, v)
+		}
+	}
+
+	agreed, iters := n.proposalPhase(actives, candidates)
+	var deferred []*ledger.Tx
+	agreedSet := make(map[ledger.Hash]bool, len(agreed))
+	for _, tx := range agreed {
+		agreedSet[tx.Hash()] = true
+	}
+	for _, tx := range candidates {
+		if !agreedSet[tx.Hash()] {
+			deferred = append(deferred, tx)
+		}
+	}
+
+	// Apply the agreed set to the canonical state machine.
+	page, err := n.closeMainPage(agreed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Close the parallel test-net page (empty traffic).
+	testPage, err := closeEmptyPage(n.testChain, n.now)
+	if err != nil {
+		return nil, err
+	}
+
+	// Validation broadcast. The quorum denominator is the trusted list
+	// itself (UNLs are configuration, not liveness): a validator that is
+	// merely offline — or hijacked — still counts against the 80%
+	// requirement. Validators outside their join/leave window have been
+	// retired from operators' lists and do not count.
+	canonical := page.Header.Hash()
+	matching := 0
+	trustedTotal := 0
+	for _, v := range n.validators {
+		if !v.present(n.round) {
+			continue
+		}
+		if v.spec.Trusted && v.spec.Behavior == BehaviorActive {
+			trustedTotal++
+		}
+		if v.disabled || n.rng.Float64() >= v.spec.Availability {
+			continue
+		}
+		signed := n.validationHashFor(v, page, testPage)
+		if signed.IsZero() {
+			continue
+		}
+		// Only trusted (UNL) validations count towards the quorum;
+		// anyone can broadcast validations, but rippled only tallies
+		// its configured list.
+		if signed == canonical && v.spec.Trusted {
+			matching++
+		}
+		n.emit(Event{
+			Kind:       EventValidation,
+			Seq:        page.Header.Sequence,
+			LedgerHash: signed,
+			Node:       v.id,
+			Signature:  v.key.Sign(signed[:]),
+			Time:       n.now,
+		})
+	}
+
+	quorum := int(float64(trustedTotal)*n.cfg.ValidationQuorum + 0.999999)
+	validated := trustedTotal > 0 && matching >= quorum
+	if validated {
+		n.emit(Event{
+			Kind:       EventLedgerClosed,
+			Seq:        page.Header.Sequence,
+			LedgerHash: canonical,
+			Time:       n.now,
+			TxCount:    len(page.Txs),
+		})
+	}
+
+	return &RoundResult{
+		Page:          page,
+		Validated:     validated,
+		Validations:   matching,
+		ProposalIters: iters,
+		Deferred:      deferred,
+	}, nil
+}
+
+// proposalPhase runs the avalanche-style dispute resolution: each active
+// validator starts from its (lossy) view of the candidate set and
+// iteratively keeps a transaction only when the fraction of peers
+// proposing it meets the rising threshold. Returns the agreed set and
+// the number of iterations used.
+func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) ([]*ledger.Tx, int) {
+	if len(actives) == 0 || len(candidates) == 0 {
+		return nil, 0
+	}
+	// proposals[i][j] — does validator i currently propose candidate j.
+	proposals := make([][]bool, len(actives))
+	for i := range actives {
+		proposals[i] = make([]bool, len(candidates))
+		for j := range candidates {
+			proposals[i][j] = n.rng.Float64() >= n.cfg.TxDropRate
+		}
+	}
+	iters := 0
+	for _, threshold := range n.cfg.Thresholds {
+		iters++
+		next := make([][]bool, len(actives))
+		converged := true
+		for i := range actives {
+			next[i] = make([]bool, len(candidates))
+			for j := range candidates {
+				votes := 0
+				for k := range actives {
+					if proposals[k][j] {
+						votes++
+					}
+				}
+				keep := float64(votes) >= threshold*float64(len(actives))
+				next[i][j] = keep
+				if keep != proposals[i][j] {
+					converged = false
+				}
+			}
+		}
+		proposals = next
+		if converged {
+			break
+		}
+	}
+	// The final set: transactions every active validator proposes.
+	var agreed []*ledger.Tx
+	for j, tx := range candidates {
+		all := true
+		for i := range actives {
+			if !proposals[i][j] {
+				all = false
+				break
+			}
+		}
+		if all {
+			agreed = append(agreed, tx)
+		}
+	}
+	return agreed, iters
+}
+
+// closeMainPage applies the agreed set to the canonical engine and
+// appends the resulting page to the main chain.
+func (n *Network) closeMainPage(agreed []*ledger.Tx) (*ledger.Page, error) {
+	metas := make([]*ledger.TxMeta, 0, len(agreed))
+	for _, tx := range agreed {
+		meta, err := n.engine.Apply(tx)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: applying tx: %w", err)
+		}
+		metas = append(metas, meta)
+	}
+	tip := n.chain.Tip()
+	page := &ledger.Page{
+		Header: ledger.PageHeader{
+			Sequence:   tip.Header.Sequence + 1,
+			ParentHash: tip.Header.Hash(),
+			TxSetHash:  ledger.TxSetHash(agreed),
+			StateHash:  n.engine.StateDigest(),
+			CloseTime:  ledger.CloseTimeFromTime(n.now),
+			TotalDrops: n.engine.TotalDrops(),
+		},
+		Txs:   agreed,
+		Metas: metas,
+	}
+	if err := n.chain.Append(page); err != nil {
+		return nil, fmt.Errorf("consensus: appending page: %w", err)
+	}
+	return page, nil
+}
+
+// closeEmptyPage extends a chain with an empty page.
+func closeEmptyPage(c *ledger.Chain, now time.Time) (*ledger.Page, error) {
+	tip := c.Tip()
+	page := &ledger.Page{
+		Header: ledger.PageHeader{
+			Sequence:   tip.Header.Sequence + 1,
+			ParentHash: tip.Header.Hash(),
+			TxSetHash:  ledger.TxSetHash(nil),
+			StateHash:  tip.Header.StateHash,
+			CloseTime:  ledger.CloseTimeFromTime(now),
+			TotalDrops: tip.Header.TotalDrops,
+		},
+	}
+	if err := c.Append(page); err != nil {
+		return nil, err
+	}
+	return page, nil
+}
+
+// validationHashFor selects the ledger hash a validator signs this
+// round, per its behavior class.
+func (n *Network) validationHashFor(v *validator, mainPage, testPage *ledger.Page) ledger.Hash {
+	switch v.spec.Behavior {
+	case BehaviorActive:
+		return mainPage.Header.Hash()
+	case BehaviorLaggard:
+		if n.rng.Float64() < v.spec.SyncProbability {
+			return mainPage.Header.Hash()
+		}
+		// Out of sync: the laggard's divergent state produces a page
+		// hash of its own.
+		return ledger.SHA512Half([]byte(fmt.Sprintf("laggard:%s:%d:%d", v.DisplayName(), mainPage.Header.Sequence, n.rng.Int63())))
+	case BehaviorForked:
+		// A private ledger: deterministic per validator, never on the
+		// main chain.
+		return ledger.SHA512Half([]byte(fmt.Sprintf("fork:%s:%d", v.DisplayName(), mainPage.Header.Sequence)))
+	case BehaviorTestnet:
+		return testPage.Header.Hash()
+	default:
+		return ledger.Hash{}
+	}
+}
+
+// Run executes `rounds` rounds pulling candidate transactions from next,
+// which may return nil for an empty round. Deferred transactions are
+// retried in the following round ahead of new traffic.
+func (n *Network) Run(rounds int, next func(round int) []*ledger.Tx) ([]*RoundResult, error) {
+	results := make([]*RoundResult, 0, rounds)
+	var carry []*ledger.Tx
+	for i := 1; i <= rounds; i++ {
+		candidates := carry
+		if next != nil {
+			candidates = append(candidates, next(i)...)
+		}
+		res, err := n.RunRound(candidates)
+		if err != nil {
+			return results, err
+		}
+		carry = res.Deferred
+		results = append(results, res)
+	}
+	return results, nil
+}

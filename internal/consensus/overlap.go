@@ -1,0 +1,120 @@
+package consensus
+
+import (
+	"math/rand"
+)
+
+// UNL-overlap fork analysis. The paper notes that analyses of the Ripple
+// consensus protocol ([7] Todd, [8] Armknecht et al.) "resulted in a
+// modification of the protocol consisting in an increase of the
+// agreement majority required to approve transactions." The underlying
+// question is how much two validators' Unique Node Lists must overlap
+// for the network to be fork-free: with disjoint-enough UNLs, two groups
+// can each reach their internal validation quorum on *different* ledgers.
+//
+// SimulateUNLOverlap measures that directly: two groups of validators,
+// each of size GroupSize, share an Overlap fraction of members. In a
+// split round (a dispute the groups initially resolve differently), the
+// exclusive members of each group sign their group's ledger and the
+// shared members split between the two. A fork happens when both
+// ledgers collect the quorum within their respective UNLs.
+
+// OverlapConfig parameterizes the fork experiment.
+type OverlapConfig struct {
+	// GroupSize is each group's UNL size.
+	GroupSize int
+	// Overlap is the fraction of each UNL shared with the other group.
+	Overlap float64
+	// Quorum is the validation quorum (0.8 in Ripple).
+	Quorum float64
+	// Rounds is the number of split rounds to simulate.
+	Rounds int
+	// Seed drives the shared members' random tie-breaking.
+	Seed int64
+}
+
+// OverlapResult reports the fork measurement.
+type OverlapResult struct {
+	Config OverlapConfig
+	// ForkRounds counts rounds where both ledgers validated.
+	ForkRounds int
+	// StallRounds counts rounds where neither validated.
+	StallRounds int
+	// ForkRate is ForkRounds / Rounds.
+	ForkRate float64
+	// ForkPossible is the closed-form feasibility condition: with
+	// quorum q, forks are possible iff overlap ≤ 2(1−q).
+	ForkPossible bool
+}
+
+// ForkFeasible returns the closed-form condition: with each group of
+// size n, shared s = overlap×n, exclusive d = n−s, a fork needs
+// d + x ≥ qn and d + (s−x) ≥ qn for some split x of the shared members,
+// which is satisfiable iff s ≥ 2(qn − d), i.e. overlap ≤ 2(1 − q).
+// At Ripple's 80% quorum the threshold is 40%: UNLs overlapping less
+// than 40% admit forks.
+func ForkFeasible(overlap, quorum float64) bool {
+	return overlap <= 2*(1-quorum)+1e-12
+}
+
+// SimulateUNLOverlap Monte-Carlos split rounds under the configuration.
+func SimulateUNLOverlap(cfg OverlapConfig) OverlapResult {
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 20
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = 0.8
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 10_000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	n := cfg.GroupSize
+	shared := int(cfg.Overlap*float64(n) + 0.5)
+	if shared > n {
+		shared = n
+	}
+	exclusive := n - shared
+	quorum := int(cfg.Quorum*float64(n) + 0.999999)
+
+	res := OverlapResult{Config: cfg, ForkPossible: ForkFeasible(cfg.Overlap, cfg.Quorum)}
+	for r := 0; r < cfg.Rounds; r++ {
+		// Each shared validator hears both proposals and follows
+		// whichever reached it first: a fair coin in a symmetric split.
+		votesA := 0
+		for s := 0; s < shared; s++ {
+			if rng.Intn(2) == 0 {
+				votesA++
+			}
+		}
+		sigA := exclusive + votesA
+		sigB := exclusive + (shared - votesA)
+		aValid := sigA >= quorum
+		bValid := sigB >= quorum
+		switch {
+		case aValid && bValid:
+			res.ForkRounds++
+		case !aValid && !bValid:
+			res.StallRounds++
+		}
+	}
+	res.ForkRate = float64(res.ForkRounds) / float64(cfg.Rounds)
+	return res
+}
+
+// OverlapSweep runs the simulation across overlap fractions and returns
+// the fork rate per point — the curve showing where safety kicks in.
+func OverlapSweep(groupSize int, quorum float64, overlaps []float64, rounds int, seed int64) []OverlapResult {
+	out := make([]OverlapResult, 0, len(overlaps))
+	for i, o := range overlaps {
+		out = append(out, SimulateUNLOverlap(OverlapConfig{
+			GroupSize: groupSize,
+			Overlap:   o,
+			Quorum:    quorum,
+			Rounds:    rounds,
+			Seed:      seed + int64(i),
+		}))
+	}
+	return out
+}

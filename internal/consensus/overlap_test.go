@@ -1,0 +1,90 @@
+package consensus
+
+import (
+	"testing"
+)
+
+func TestForkFeasibleClosedForm(t *testing.T) {
+	tests := []struct {
+		overlap, quorum float64
+		want            bool
+	}{
+		{0.0, 0.8, true},
+		{0.2, 0.8, true},
+		{0.4, 0.8, true}, // boundary
+		{0.41, 0.8, false},
+		{0.6, 0.8, false},
+		{1.0, 0.8, false},
+		// At the original 50% majority the threshold is 100%: any
+		// partial overlap admits forks — the weakness that drove the
+		// quorum increase the paper mentions.
+		{0.9, 0.5, true},
+		{1.0, 0.5, true},
+	}
+	for _, tt := range tests {
+		if got := ForkFeasible(tt.overlap, tt.quorum); got != tt.want {
+			t.Errorf("ForkFeasible(%.2f, %.2f) = %v, want %v", tt.overlap, tt.quorum, got, tt.want)
+		}
+	}
+}
+
+func TestSimulationMatchesFeasibility(t *testing.T) {
+	for _, overlap := range []float64{0, 0.1, 0.2, 0.3, 0.5, 0.6, 0.8, 1.0} {
+		res := SimulateUNLOverlap(OverlapConfig{
+			GroupSize: 40, Overlap: overlap, Quorum: 0.8, Rounds: 20_000, Seed: 1,
+		})
+		if !res.ForkPossible && res.ForkRounds > 0 {
+			t.Errorf("overlap %.1f: %d forks observed where infeasible", overlap, res.ForkRounds)
+		}
+		// Deep in the feasible region forks must actually occur.
+		if overlap <= 0.2 && res.ForkRounds == 0 {
+			t.Errorf("overlap %.1f: no forks observed in the feasible region", overlap)
+		}
+	}
+}
+
+func TestDisjointUNLsForkEveryRound(t *testing.T) {
+	res := SimulateUNLOverlap(OverlapConfig{
+		GroupSize: 20, Overlap: 0, Quorum: 0.8, Rounds: 1000, Seed: 2,
+	})
+	if res.ForkRate != 1.0 {
+		t.Errorf("disjoint UNLs fork rate = %v, want 1.0 (each group is its own network)", res.ForkRate)
+	}
+}
+
+func TestIdenticalUNLsNeverFork(t *testing.T) {
+	res := SimulateUNLOverlap(OverlapConfig{
+		GroupSize: 20, Overlap: 1.0, Quorum: 0.8, Rounds: 5000, Seed: 3,
+	})
+	if res.ForkRounds != 0 {
+		t.Errorf("identical UNLs forked %d times", res.ForkRounds)
+	}
+	// With everything shared and a coin-flip split, neither side
+	// usually reaches 80%: the round stalls rather than forks — safety
+	// over liveness.
+	if res.StallRounds == 0 {
+		t.Error("identical UNLs under a symmetric split should stall, not decide")
+	}
+}
+
+func TestOverlapSweepMonotone(t *testing.T) {
+	overlaps := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	sweep := OverlapSweep(30, 0.8, overlaps, 20_000, 7)
+	if len(sweep) != len(overlaps) {
+		t.Fatalf("sweep = %d points", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].ForkRate > sweep[i-1].ForkRate+0.02 {
+			t.Errorf("fork rate increased with overlap: %.2f -> %.2f at %.1f",
+				sweep[i-1].ForkRate, sweep[i].ForkRate, overlaps[i])
+		}
+	}
+	// The curve crosses from certain forks to none.
+	if sweep[0].ForkRate < 0.99 {
+		t.Errorf("fork rate at zero overlap = %v, want ≈1", sweep[0].ForkRate)
+	}
+	last := sweep[len(sweep)-1]
+	if last.ForkRate != 0 {
+		t.Errorf("fork rate at 60%% overlap = %v, want 0", last.ForkRate)
+	}
+}

@@ -1,0 +1,225 @@
+package consensus
+
+import (
+	"fmt"
+	"time"
+)
+
+// PeriodSpec describes one of the paper's three 2-week collection
+// periods: the validator population active during the window and the
+// number of consensus rounds to simulate. Two weeks of 5-second closes
+// is ~242k rounds; Rounds scales that down while preserving the
+// population structure, so the Figure 2 *shape* (who signs a lot, whose
+// pages validate) is unchanged.
+type PeriodSpec struct {
+	Name   string
+	Start  time.Time
+	Rounds int
+	Specs  []ValidatorSpec
+}
+
+// FullPeriodRounds is the unscaled round count of a 2-week period at a
+// 5-second close interval.
+const FullPeriodRounds = 14 * 24 * 3600 / 5
+
+// seedFor gives stable per-identity seeds so validators that recur
+// across periods keep their keys — the paper observes "only 9 (over a
+// total of 70 validators seen) that appear in each of them as active
+// contributors".
+func seedFor(label string, ordinal uint64) uint64 {
+	if label == "" {
+		return 1_000_000 + ordinal
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	// Distinct machines can share a public label (July 2016 had two
+	// bougalis.net validators); the ordinal keeps their keys distinct.
+	h ^= ordinal * 0x9e3779b97f4a7c15
+	return h
+}
+
+// rippleLabs returns the R1–R5 validators: always available, trusted,
+// "the ones who contribute the most to the validation process".
+func rippleLabs() []ValidatorSpec {
+	out := make([]ValidatorSpec, 0, 5)
+	for i := 1; i <= 5; i++ {
+		out = append(out, ValidatorSpec{
+			Label:        rLabel(i),
+			Behavior:     BehaviorActive,
+			Seed:         seedFor(rLabel(i), 0),
+			Availability: 0.995,
+			Trusted:      true,
+		})
+	}
+	return out
+}
+
+func rLabel(i int) string { return fmt.Sprintf("R%d", i) }
+
+func active(label string, ordinal uint64, avail float64) ValidatorSpec {
+	return ValidatorSpec{
+		Label: label, Behavior: BehaviorActive,
+		Seed: seedFor(label, ordinal), Availability: avail, Trusted: true,
+	}
+}
+
+func laggard(label string, ordinal uint64, sync float64) ValidatorSpec {
+	return ValidatorSpec{
+		Label: label, Behavior: BehaviorLaggard,
+		Seed: seedFor(label, ordinal), Availability: 0.85, SyncProbability: sync,
+	}
+}
+
+func forked(label string, ordinal uint64) ValidatorSpec {
+	return ValidatorSpec{
+		Label: label, Behavior: BehaviorForked,
+		Seed: seedFor(label, ordinal), Availability: 0.9,
+	}
+}
+
+func testnet(ordinal uint64) ValidatorSpec {
+	return ValidatorSpec{
+		Label: "testnet.ripple.com", Behavior: BehaviorTestnet,
+		Seed: 2_000_000 + ordinal, Availability: 0.97,
+	}
+}
+
+// December2015 reproduces Figure 2(a)'s population: R1–R5 plus 29
+// others — "just a handful of 3 of them were actively contributing",
+// 5 laggards with "a very small fraction of valid pages", and 21 whose
+// pages never validate.
+func December2015(rounds int) PeriodSpec {
+	specs := rippleLabs()
+	// 3 active unidentified contributors (recur in later periods).
+	for i := uint64(0); i < 3; i++ {
+		specs = append(specs, active("", 100+i, 0.93))
+	}
+	// A ninth recurring contributor: active but poorly provisioned in
+	// December, much stronger in the later periods. It keeps the
+	// recurring-actives count across all three periods at the paper's 9
+	// without inflating December's "handful of 3" very active ones.
+	weakRecurring := active("", 110, 0.25)
+	weakRecurring.Trusted = false
+	specs = append(specs, weakRecurring)
+	// 5 laggards struggling to stay in sync.
+	specs = append(specs, laggard("mycooldomain.com", 0, 0.08))
+	for i := uint64(0); i < 4; i++ {
+		specs = append(specs, laggard("", 200+i, 0.02+0.02*float64(i)))
+	}
+	// 20 validators with zero valid pages (private forks or hopeless
+	// latency).
+	specs = append(specs, forked("xagate.com", 0))
+	for i := uint64(0); i < 19; i++ {
+		specs = append(specs, forked("", 300+i))
+	}
+	return PeriodSpec{
+		Name:   "December 2015",
+		Start:  time.Date(2015, 12, 1, 0, 0, 0, 0, time.UTC),
+		Rounds: rounds,
+		Specs:  specs,
+	}
+}
+
+// July2016 reproduces Figure 2(b): 10 active non-Ripple validators (four
+// with public domains), the 5-node test-net cluster, and a tail of
+// laggards and forks.
+func July2016(rounds int) PeriodSpec {
+	specs := rippleLabs()
+	// Publicly-labelled actives: "available as much as R1–R5".
+	specs = append(specs,
+		active("bougalis.net", 0, 0.99),
+		active("bougalis.net", 1, 0.99),
+		active("freewallet1.net", 0, 0.97),
+		active("freewallet2.net", 0, 0.97),
+		active("mduo13.com", 0, 0.95),
+		active("youwant.to", 0, 0.95),
+	)
+	// 4 active unidentified (3 recurring from December, one new).
+	for i := uint64(0); i < 3; i++ {
+		specs = append(specs, active("", 100+i, 0.93))
+	}
+	specs = append(specs, active("", 110, 0.9))
+	// Test-net cluster: ~200k pages signed, none on the main ledger.
+	for i := uint64(0); i < 5; i++ {
+		specs = append(specs, testnet(i))
+	}
+	// Remaining observations: laggards and forks.
+	specs = append(specs,
+		laggard("rippled.media.mit.edu", 0, 0.05),
+		laggard("rippled.mr.exchange", 0, 0.04),
+	)
+	for i := uint64(0); i < 4; i++ {
+		specs = append(specs, laggard("", 210+i, 0.03))
+	}
+	for i := uint64(0); i < 7; i++ {
+		specs = append(specs, forked("", 310+i))
+	}
+	return PeriodSpec{
+		Name:   "July 2016",
+		Start:  time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC),
+		Rounds: rounds,
+		Specs:  specs,
+	}
+}
+
+// November2016 reproduces Figure 2(c): more validators observed (34
+// non-Ripple) but fewer very active ones (8); freewallet1/2 drop by an
+// order of magnitude and one bougalis.net node disappears while the
+// other lingers briefly.
+func November2016(rounds int) PeriodSpec {
+	specs := rippleLabs()
+	specs = append(specs,
+		active("duke67.com", 0, 0.96),
+		active("awsstatic.com/fin-serv", 0, 0.95),
+		active("paleorbglow.com", 0, 0.94),
+		active("youwant.to", 0, 0.95),
+	)
+	// 4 active unidentified (keeping the recurring trio and the ninth
+	// recurring contributor).
+	for i := uint64(0); i < 3; i++ {
+		specs = append(specs, active("", 100+i, 0.93))
+	}
+	specs = append(specs, active("", 110, 0.9))
+	// freewallet1/2: an order of magnitude fewer rounds — present only
+	// for a sliver of the window.
+	fw1 := active("freewallet1.net", 0, 0.97)
+	fw1.JoinRound = 1
+	fw1.LeaveRound = rounds / 12
+	fw2 := active("freewallet2.net", 0, 0.97)
+	fw2.JoinRound = 1
+	fw2.LeaveRound = rounds / 12
+	// bougalis.net: one node gone, the other present ~6% of the window.
+	bg := active("bougalis.net", 0, 0.99)
+	bg.JoinRound = 1
+	bg.LeaveRound = rounds / 16
+	specs = append(specs, fw1, fw2, bg)
+	// Test-net cluster again.
+	for i := uint64(0); i < 5; i++ {
+		specs = append(specs, testnet(i))
+	}
+	// Laggards and forks.
+	specs = append(specs,
+		laggard("rippled.media.mit.edu", 0, 0.05),
+		laggard("rippled.mr.exchange", 0, 0.04),
+	)
+	for i := uint64(0); i < 7; i++ {
+		specs = append(specs, laggard("", 220+i, 0.03))
+	}
+	for i := uint64(0); i < 9; i++ {
+		specs = append(specs, forked("", 320+i))
+	}
+	return PeriodSpec{
+		Name:   "November 2016",
+		Start:  time.Date(2016, 11, 1, 0, 0, 0, 0, time.UTC),
+		Rounds: rounds,
+		Specs:  specs,
+	}
+}
+
+// Periods returns all three collection periods at the given scale.
+func Periods(rounds int) []PeriodSpec {
+	return []PeriodSpec{December2015(rounds), July2016(rounds), November2016(rounds)}
+}

@@ -1,0 +1,130 @@
+// Package consensus implements a Ripple Protocol Consensus Algorithm
+// (RPCA) style network: validators exchange transaction-set proposals
+// over rounds with rising agreement thresholds, close a ledger page when
+// the set converges, and broadcast signed validations. A page is fully
+// validated when at least 80% of the trusted validator list signs it —
+// "only those pages that are signed by at least 80% of the validators end
+// up in the distributed ledger."
+//
+// The paper's §IV measurements are reproduced by populating the network
+// with the validator classes the authors observed: always-on Ripple Labs
+// validators (R1–R5), active unidentified validators, laggards whose
+// signed pages rarely match the main ledger, validators on a private
+// fork, and the test-net cluster running a parallel chain.
+package consensus
+
+import (
+	"fmt"
+
+	"ripplestudy/internal/addr"
+)
+
+// Behavior classifies how a validator participates, mirroring the
+// validator populations the paper infers from its Figure 2 data.
+type Behavior int
+
+const (
+	// BehaviorActive validators are well-provisioned and in sync: they
+	// propose, converge, and sign the canonical page nearly every round
+	// (R1–R5 and the handful of active unidentified validators).
+	BehaviorActive Behavior = iota + 1
+	// BehaviorLaggard validators struggle "to stay in sync with the rest
+	// of the system, due to limited hardware or network performance":
+	// they sign pages, but the pages only rarely match the main ledger.
+	BehaviorLaggard
+	// BehaviorForked validators contribute "to a different, private
+	// Ripple ledger": every page they sign is alien to the main chain.
+	BehaviorForked
+	// BehaviorTestnet validators run the consensus protocol for the
+	// parallel test-net chain (testnet.ripple.com); their pages are valid
+	// there but never on the main ledger.
+	BehaviorTestnet
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorActive:
+		return "active"
+	case BehaviorLaggard:
+		return "laggard"
+	case BehaviorForked:
+		return "forked"
+	case BehaviorTestnet:
+		return "testnet"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// ValidatorSpec describes one validator joining the network.
+type ValidatorSpec struct {
+	// Label is the public identity: an internet domain for validators
+	// that announce one, or empty to display the truncated node key, as
+	// in the paper's Figure 2 x-axis.
+	Label string
+	// Behavior selects the participation model.
+	Behavior Behavior
+	// Seed derives the validator's deterministic keypair.
+	Seed uint64
+	// Availability is the per-round probability of being online
+	// (defaults to 0.98 for active, 0.9 otherwise when zero).
+	Availability float64
+	// SyncProbability is, for laggards, the chance a signed page matches
+	// the main chain (defaults to 0.05 when zero).
+	SyncProbability float64
+	// JoinRound and LeaveRound bound the rounds (1-based, inclusive)
+	// during which the validator exists; zero means unbounded. The
+	// churn between the paper's three collection periods is expressed
+	// through these bounds.
+	JoinRound, LeaveRound int
+	// Trusted marks membership in the UNL used for the 80% validation
+	// quorum. Typically the active validators.
+	Trusted bool
+}
+
+// validator is the runtime state of one validator.
+type validator struct {
+	spec ValidatorSpec
+	key  *addr.KeyPair
+	id   addr.NodeID
+	// disabled marks a hijacked or downed validator: it stops signing
+	// but remains on the trusted list, so it still counts against the
+	// validation quorum — the paper's DoS scenario.
+	disabled bool
+}
+
+func newValidator(spec ValidatorSpec) *validator {
+	if spec.Availability == 0 {
+		if spec.Behavior == BehaviorActive {
+			spec.Availability = 0.98
+		} else {
+			spec.Availability = 0.9
+		}
+	}
+	if spec.SyncProbability == 0 {
+		spec.SyncProbability = 0.05
+	}
+	key := addr.KeyPairFromSeed(spec.Seed)
+	return &validator{spec: spec, key: key, id: key.NodeID()}
+}
+
+// present reports whether the validator exists at the given round.
+func (v *validator) present(round int) bool {
+	if v.spec.JoinRound > 0 && round < v.spec.JoinRound {
+		return false
+	}
+	if v.spec.LeaveRound > 0 && round > v.spec.LeaveRound {
+		return false
+	}
+	return true
+}
+
+// DisplayName renders the Figure 2 x-axis label: the domain when
+// announced, otherwise the truncated node key.
+func (v *validator) DisplayName() string {
+	if v.spec.Label != "" {
+		return v.spec.Label
+	}
+	return v.id.Short()
+}

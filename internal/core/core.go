@@ -1,0 +1,392 @@
+// Package core is the public facade of the study: it wires the synthetic
+// history generator, the ledger store, the consensus simulator, and the
+// analysis engines into one-call experiment runners — one per table and
+// figure of the paper. The cmd/ binaries and the benchmark harness are
+// thin wrappers around this package.
+package core
+
+import (
+	"fmt"
+
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/analysis"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/deanon"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/ledgerstore"
+	"ripplestudy/internal/monitor"
+	"ripplestudy/internal/replay"
+	"ripplestudy/internal/synth"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Payments sizes the synthetic history (the paper's full scale is
+	// 23M; the default is laptop-friendly).
+	Payments int
+	// Seed drives all randomness.
+	Seed int64
+	// StoreDir, when set, persists the history to a ledgerstore and
+	// streams analyses from disk; otherwise pages stay in memory.
+	StoreDir string
+	// ConsensusRounds scales the Figure 2 collection periods (a full
+	// 2-week period is consensus.FullPeriodRounds).
+	ConsensusRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Payments == 0 {
+		c.Payments = 50_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ConsensusRounds == 0 {
+		c.ConsensusRounds = 2000
+	}
+	return c
+}
+
+// Dataset is a generated history plus the state needed by the analyses.
+type Dataset struct {
+	cfg    Config
+	source replay.Source
+	result *synth.Result
+
+	collector *analysis.Collector // lazy ecosystem statistics
+}
+
+// BuildDataset generates the history (persisting it when StoreDir is
+// set) and returns the dataset the experiments run on.
+func BuildDataset(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	ds := &Dataset{cfg: cfg}
+
+	genCfg := synth.Config{
+		Payments:       cfg.Payments,
+		Seed:           cfg.Seed,
+		SkipSignatures: true,
+	}
+	if cfg.StoreDir != "" {
+		store, err := ledgerstore.Create(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		res, err := synth.Generate(genCfg, store.Append)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Close(); err != nil {
+			return nil, err
+		}
+		ds.source = store
+		ds.result = res
+		return ds, nil
+	}
+	var pages []*ledger.Page
+	res, err := synth.Generate(genCfg, func(p *ledger.Page) error {
+		pages = append(pages, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.source = replay.FromPages(pages)
+	ds.result = res
+	return ds, nil
+}
+
+// OpenDataset runs the experiments over a previously generated store.
+// Analyses that need the final network state (Figure 7's profiles,
+// Table II) rebuild it by replaying the store.
+func OpenDataset(dir string) (*Dataset, error) {
+	store, err := ledgerstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{cfg: Config{StoreDir: dir}.withDefaults(), source: store}, nil
+}
+
+// Source exposes the page stream.
+func (ds *Dataset) Source() replay.Source { return ds.source }
+
+// GeneratorResult returns the generator's output, or nil for datasets
+// opened from disk.
+func (ds *Dataset) GeneratorResult() *synth.Result { return ds.result }
+
+// ecosystem builds (once) the streaming appendix statistics.
+func (ds *Dataset) ecosystem() (*analysis.Collector, error) {
+	if ds.collector != nil {
+		return ds.collector, nil
+	}
+	c := analysis.NewCollector()
+	if err := ds.source.Pages(c.Page); err != nil {
+		return nil, fmt.Errorf("core: scanning history: %w", err)
+	}
+	ds.collector = c
+	return c, nil
+}
+
+// lastSeq returns the final page sequence of the history.
+func (ds *Dataset) lastSeq() (uint64, error) {
+	var last uint64
+	err := ds.source.Pages(func(p *ledger.Page) error {
+		last = p.Header.Sequence
+		return nil
+	})
+	return last, err
+}
+
+// Figure2 runs the three collection-period simulations and returns one
+// validator report per period — the data behind Figure 2(a–c).
+func Figure2(rounds int, seed int64) ([]monitor.Report, error) {
+	if rounds == 0 {
+		rounds = 2000
+	}
+	var out []monitor.Report
+	for _, spec := range consensus.Periods(rounds) {
+		rep, err := monitor.CollectPeriod(spec, consensus.Config{Seed: seed}, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// TableI returns the rounding specification rows.
+func TableI() []string { return deanon.TableISpec() }
+
+// Figure3 computes the information gain for the paper's ten resolution
+// tuples over the dataset.
+func (ds *Dataset) Figure3() ([]deanon.RowResult, error) {
+	study := deanon.NewStudy(deanon.Figure3Rows)
+	err := ds.source.Pages(func(p *ledger.Page) error {
+		for i := range p.Txs {
+			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+				study.Observe(f)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return study.Results(), nil
+}
+
+// Figure4 returns the currency histogram.
+func (ds *Dataset) Figure4() ([]analysis.CurrencyCount, error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	return c.CurrencyHistogram(), nil
+}
+
+// Figure5Curve is one survival curve of Figure 5.
+type Figure5Curve struct {
+	Label  string
+	Points []analysis.SurvivalPoint
+}
+
+// Figure5 returns the survival functions for the paper's featured
+// currencies plus the currency-unaware global curve.
+func (ds *Dataset) Figure5() ([]Figure5Curve, error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	grid := analysis.DefaultSurvivalGrid()
+	out := []Figure5Curve{{Label: "Global", Points: c.Survival(amount.Currency{}, true, grid)}}
+	for _, cur := range []amount.Currency{amount.BTC, amount.CCK, amount.CNY, amount.EUR, amount.MTL, amount.USD, amount.XRP} {
+		out = append(out, Figure5Curve{Label: cur.String(), Points: c.Survival(cur, false, grid)})
+	}
+	return out, nil
+}
+
+// Figure6 returns the hop histogram (a) and parallel-path histogram (b).
+func (ds *Dataset) Figure6() (hops, parallel map[int]int64, err error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.HopHistogram(), c.ParallelHistogram(), nil
+}
+
+// Figure7 returns the top-k intermediaries with their trust and balance
+// profiles. The final network state comes from the generator when
+// available, otherwise from replaying the store.
+func (ds *Dataset) Figure7(k int) ([]analysis.Intermediary, error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	var names analysis.Namer
+	if ds.result != nil {
+		names = ds.result.Population.Registry()
+	}
+	top := c.TopIntermediaries(k, names)
+	graph := ds.finalGraphSource()
+	if graph == nil {
+		last, err := ds.lastSeq()
+		if err != nil {
+			return nil, err
+		}
+		eng, err := replay.BuildState(ds.source, last)
+		if err != nil {
+			return nil, err
+		}
+		analysis.ProfileTop(top, eng.Graph(), synth.RateEUR)
+		return top, nil
+	}
+	analysis.ProfileTop(top, graph.Engine.Graph(), synth.RateEUR)
+	return top, nil
+}
+
+func (ds *Dataset) finalGraphSource() *synth.Result { return ds.result }
+
+// OfferConcentration returns the top-k offer shares for the appendix's
+// market-maker concentration claim (k ∈ {10, 50, 100}).
+func (ds *Dataset) OfferConcentration() (map[int]float64, error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	return c.OfferConcentration([]int{10, 50, 100}), nil
+}
+
+// TableII runs the market-maker ablation, snapshotting at the given
+// fraction of the history (the paper's snapshot sits ~70% through its
+// window, past the spam campaigns).
+func (ds *Dataset) TableII(snapshotFraction float64) (*replay.Result, error) {
+	if snapshotFraction <= 0 || snapshotFraction >= 1 {
+		snapshotFraction = 0.7
+	}
+	last, err := ds.lastSeq()
+	if err != nil {
+		return nil, err
+	}
+	snap := uint64(float64(last) * snapshotFraction)
+	if snap < 1 {
+		snap = 1
+	}
+	return replay.Run(ds.source, snap)
+}
+
+// Mitigation runs the §V wallet-splitting countermeasure study over the
+// dataset: the privacy gained and the bootstrapping cost paid when every
+// sender splits activity across k wallets, for each k.
+func (ds *Dataset) Mitigation(ks []int) ([]deanon.MitigationResult, error) {
+	var feats []deanon.Features
+	err := ds.source.Pages(func(p *ledger.Page) error {
+		for i := range p.Txs {
+			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+				feats = append(feats, f)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deanon.MitigationStudy(feats, ks), nil
+}
+
+// IncentiveScenario pairs a label with a reward-economy configuration.
+type IncentiveScenario struct {
+	Label  string
+	Config consensus.IncentiveConfig
+	Series []consensus.IncentivePoint
+}
+
+// Incentives runs the §IV reward-system extension: Ripple as-is (fees
+// destroyed, no reward) against two levels of the paper's proposed
+// transaction tax.
+func Incentives(epochs int) []IncentiveScenario {
+	scenarios := []IncentiveScenario{
+		{Label: "no reward (Ripple today)", Config: consensus.IncentiveConfig{
+			TaxPerRound: 0, InitialValidators: 13, Epochs: epochs,
+		}},
+		{Label: "modest tax (0.2/round)", Config: consensus.IncentiveConfig{
+			TaxPerRound: 0.2, RoundsPerEpoch: 100_000, OperatingCost: 1000,
+			InitialValidators: 13, Epochs: epochs,
+		}},
+		{Label: "strong tax (1.0/round)", Config: consensus.IncentiveConfig{
+			TaxPerRound: 1.0, RoundsPerEpoch: 100_000, OperatingCost: 1000,
+			InitialValidators: 13, Epochs: epochs,
+		}},
+	}
+	for i := range scenarios {
+		scenarios[i].Series = consensus.SimulateIncentives(scenarios[i].Config)
+	}
+	return scenarios
+}
+
+// SpamCost returns the top fee payers — what the anti-spam fee actually
+// charged the spam campaigns.
+func (ds *Dataset) SpamCost(k int) ([]analysis.FeePayer, amount.Drops, error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return nil, 0, err
+	}
+	var names analysis.Namer
+	if ds.result != nil {
+		names = ds.result.Population.Registry()
+	}
+	return c.TopFeePayers(k, names), c.TotalFees(), nil
+}
+
+// ClockUncertainty runs the time-window attack sweep: the fraction of
+// payments uniquely de-anonymized by an observer whose clock is only
+// accurate to ±Δ, for each Δ. It generalizes Figure 3's Tsc/Tmn/Thr/Tdy
+// ladder to a continuous curve.
+func (ds *Dataset) ClockUncertainty(deltas []uint32) ([]deanon.WindowPoint, error) {
+	w := deanon.NewWindowIndex(deanon.Resolution{
+		Amount: deanon.AmountMax, Currency: true, Destination: true,
+	})
+	var payments []deanon.Features
+	err := ds.source.Pages(func(p *ledger.Page) error {
+		for i := range p.Txs {
+			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+				w.Add(f)
+				payments = append(payments, f)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w.UncertaintySweep(payments, deltas), nil
+}
+
+// Stats summarizes the dataset for reports.
+type Stats struct {
+	Payments    int64
+	Failed      int64
+	MultiHop    int64
+	Offers      int64
+	ActiveUsers int
+	TotalPages  int
+}
+
+// Stats scans the dataset.
+func (ds *Dataset) Stats() (Stats, error) {
+	c, err := ds.ecosystem()
+	if err != nil {
+		return Stats{}, err
+	}
+	pages := 0
+	if err := ds.source.Pages(func(*ledger.Page) error { pages++; return nil }); err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Payments:    c.Payments(),
+		Failed:      c.FailedPayments(),
+		MultiHop:    c.MultiHopPayments(),
+		Offers:      c.TotalOffers(),
+		ActiveUsers: c.ActiveAccounts(),
+		TotalPages:  pages,
+	}, nil
+}

@@ -1,0 +1,160 @@
+package deanon
+
+import (
+	"testing"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/synth"
+)
+
+// xrpPage builds a page with the given XRP payments (from, to pairs).
+func xrpPage(seq uint64, tm uint32, pairs [][2]uint64) *ledger.Page {
+	var txs []*ledger.Tx
+	var metas []*ledger.TxMeta
+	for _, pr := range pairs {
+		txs = append(txs, &ledger.Tx{
+			Type: ledger.TxPayment, Account: acct(pr[0]), Destination: acct(pr[1]),
+			Amount: amount.XRPAmount(1_000_000),
+		})
+		metas = append(metas, &ledger.TxMeta{Result: ledger.ResultSuccess})
+	}
+	return &ledger.Page{
+		Header: ledger.PageHeader{Sequence: seq, CloseTime: ledger.CloseTime(tm), TxSetHash: ledger.TxSetHash(txs)},
+		Txs:    txs, Metas: metas,
+	}
+}
+
+func TestActivationRecordsFirstFunderOnly(t *testing.T) {
+	c := NewClusterer()
+	// 1 activates 10; later 2 also pays 10 — only the first counts.
+	if err := c.Page(xrpPage(2, 100, [][2]uint64{{1, 10}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Page(xrpPage(3, 200, [][2]uint64{{2, 10}})); err != nil {
+		t.Fatal(err)
+	}
+	act, ok := c.ActivationOf(acct(10))
+	if !ok {
+		t.Fatal("activation missing")
+	}
+	if act.Activator != acct(1) || act.Time != 100 {
+		t.Errorf("activation = %+v, want by account 1 at t=100", act)
+	}
+}
+
+func TestClustersByActivator(t *testing.T) {
+	c := NewClusterer()
+	// Account 1 activates 10, 11, 12; account 2 activates 20.
+	if err := c.Page(xrpPage(2, 100, [][2]uint64{{1, 10}, {1, 11}, {1, 12}, {2, 20}})); err != nil {
+		t.Fatal(err)
+	}
+	clusters := c.Clusters(2)
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1 (singleton filtered)", len(clusters))
+	}
+	if clusters[0].Activator != acct(1) || len(clusters[0].Accounts) != 3 {
+		t.Errorf("cluster = %+v", clusters[0])
+	}
+	if !c.SameEntity(acct(10), acct(11)) {
+		t.Error("siblings not linked")
+	}
+	if !c.SameEntity(acct(10), acct(1)) {
+		t.Error("activator not linked to its account")
+	}
+	if c.SameEntity(acct(10), acct(20)) {
+		t.Error("unrelated accounts linked")
+	}
+	merged := c.MergeHistories(acct(10))
+	if len(merged) != 4 { // 10, 11, 12, and the activator 1
+		t.Errorf("merged = %d accounts, want 4", len(merged))
+	}
+}
+
+func TestAccountZeroExcluded(t *testing.T) {
+	c := NewClusterer()
+	// ACCOUNT_ZERO funds everyone: must not merge the network.
+	page := &ledger.Page{Header: ledger.PageHeader{Sequence: 2, CloseTime: 5}}
+	for i := uint64(1); i <= 5; i++ {
+		page.Txs = append(page.Txs, &ledger.Tx{
+			Type: ledger.TxPayment, Account: addr.AccountZero, Destination: acct(i),
+			Amount: amount.XRPAmount(1),
+		})
+		page.Metas = append(page.Metas, &ledger.TxMeta{Result: ledger.ResultSuccess})
+	}
+	page.Header.TxSetHash = ledger.TxSetHash(page.Txs)
+	if err := c.Page(page); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Clusters(2); len(got) != 0 {
+		t.Errorf("ACCOUNT_ZERO produced %d clusters", len(got))
+	}
+	if c.SameEntity(acct(1), acct(2)) {
+		t.Error("accounts linked through the excluded faucet")
+	}
+}
+
+func TestCustomExclusion(t *testing.T) {
+	c := NewClusterer(acct(99))
+	if err := c.Page(xrpPage(2, 1, [][2]uint64{{99, 1}, {99, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	if c.SameEntity(acct(1), acct(2)) {
+		t.Error("accounts linked through an explicitly excluded activator")
+	}
+	c2 := NewClusterer()
+	c2.Exclude(acct(98))
+	if err := c2.Page(xrpPage(2, 1, [][2]uint64{{98, 1}, {98, 2}})); err != nil {
+		t.Fatal(err)
+	}
+	if c2.SameEntity(acct(1), acct(2)) {
+		t.Error("Exclude() not honored")
+	}
+}
+
+// TestAkhavrClusterOnSyntheticHistory reproduces the paper's §D finding:
+// the two hyper-active hubs were both activated by ~akhavr, so the
+// activation heuristic links them into one cluster.
+func TestAkhavrClusterOnSyntheticHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a history")
+	}
+	c := NewClusterer()
+	var pop *synth.Population
+	res, err := synth.Generate(synth.Config{
+		Payments: 3000, Seed: 13, SkipSignatures: true,
+	}, c.Page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop = res.Population
+
+	hub1, hub2 := pop.Hubs[0].ID, pop.Hubs[1].ID
+	akhavr := pop.Akhavr.AccountID()
+	if !c.SameEntity(hub1, hub2) {
+		t.Error("the two hubs are not linked (both were activated by ~akhavr)")
+	}
+	if !c.SameEntity(hub1, akhavr) {
+		t.Error("hub not linked to its activator ~akhavr")
+	}
+	// The akhavr cluster appears in the cluster list.
+	found := false
+	for _, cl := range c.Clusters(2) {
+		if cl.Activator == akhavr {
+			found = true
+			if len(cl.Accounts) != 2 {
+				t.Errorf("akhavr cluster has %d accounts, want the 2 hubs", len(cl.Accounts))
+			}
+		}
+	}
+	if !found {
+		t.Error("akhavr cluster not found")
+	}
+	// De-anonymizing one hub hands the attacker the other hub's history
+	// too.
+	merged := c.MergeHistories(hub1)
+	if len(merged) != 3 {
+		t.Errorf("merged histories = %d accounts, want hub1+hub2+akhavr", len(merged))
+	}
+}

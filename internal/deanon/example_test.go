@@ -1,0 +1,56 @@
+package deanon_test
+
+import (
+	"fmt"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/deanon"
+	"ripplestudy/internal/ledger"
+)
+
+// ExampleIndex shows the paper's attack in four lines: index the public
+// ledger, observe one payment, recover the sender.
+func ExampleIndex() {
+	bob := addr.KeyPairFromSeed(10).AccountID()
+	bar := addr.KeyPairFromSeed(20).AccountID()
+
+	idx := deanon.NewIndex(deanon.Figure3Rows[0]) // ⟨Am;Tsc;C;D⟩
+	idx.Add(deanon.Features{
+		Sender:      bob,
+		Destination: bar,
+		Currency:    amount.USD,
+		Amount:      amount.MustParse("4.5"),
+		Time:        ledger.CloseTime(500_000_000),
+	})
+
+	// Alice observed everything except the sender.
+	observation := deanon.Features{
+		Destination: bar,
+		Currency:    amount.USD,
+		Amount:      amount.MustParse("4.5"),
+		Time:        ledger.CloseTime(500_000_000),
+	}
+	candidates := idx.Candidates(observation)
+	fmt.Println(len(candidates) == 1 && candidates[0] == bob)
+	// Output: true
+}
+
+func ExampleRoundAmount() {
+	// The Table I rounding process per strength group.
+	fmt.Println(deanon.RoundAmount(amount.MustParse("0.0042"), amount.BTC, deanon.AmountMax))
+	fmt.Println(deanon.RoundAmount(amount.MustParse("447"), amount.USD, deanon.AmountAvg))
+	fmt.Println(deanon.RoundAmount(amount.MustParse("123456"), amount.XRP, deanon.AmountMax))
+	// Output:
+	// 0.004
+	// 400
+	// 100000
+}
+
+func ExampleResolution_String() {
+	fmt.Println(deanon.Figure3Rows[0])
+	fmt.Println(deanon.Resolution{Amount: deanon.AmountLow, Time: deanon.TimeDays})
+	// Output:
+	// <Am;Tsc;C;D>
+	// <Al;Tdy;-;->
+}

@@ -1,0 +1,96 @@
+package deanon
+
+import (
+	"sort"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/ledger"
+)
+
+// The paper's bar scenario gives Alice "the time at which the
+// transaction occurred" — but a bystander's clock is approximate.
+// WindowIndex extends the attack to interval knowledge: the observer
+// knows amount/currency/destination (possibly coarsened) and that the
+// payment happened within ±Δ of some moment. This also quantifies the
+// resolution ladder continuously: Figure 3's Tsc/Tmn/Thr/Tdy rows are
+// the special cases Δ ∈ {0, 30s, 30min, 12h} (up to alignment).
+
+// WindowIndex indexes payments by their non-time fingerprint, keeping
+// per-match timestamps for interval queries.
+type WindowIndex struct {
+	res Resolution // Time is forced to TimeOff internally
+	m   map[Fingerprint][]windowEntry
+}
+
+type windowEntry struct {
+	t      ledger.CloseTime
+	sender addr.AccountID
+}
+
+// NewWindowIndex creates an index at the given amount/currency/
+// destination resolution; the time component of res is ignored.
+func NewWindowIndex(res Resolution) *WindowIndex {
+	res.Time = TimeOff
+	return &WindowIndex{res: res, m: make(map[Fingerprint][]windowEntry)}
+}
+
+// Add indexes one payment.
+func (w *WindowIndex) Add(f Features) {
+	fp := FingerprintOf(f, w.res)
+	w.m[fp] = append(w.m[fp], windowEntry{t: f.Time, sender: f.Sender})
+}
+
+// Candidates returns the distinct senders of payments matching the
+// observation's non-time features whose timestamp lies within ±delta
+// seconds of the observation's time.
+func (w *WindowIndex) Candidates(f Features, delta uint32) []addr.AccountID {
+	entries := w.m[FingerprintOf(f, w.res)]
+	lo := ledger.CloseTime(0)
+	if uint32(f.Time) > delta {
+		lo = f.Time - ledger.CloseTime(delta)
+	}
+	hi := f.Time + ledger.CloseTime(delta)
+	seen := make(map[addr.AccountID]bool)
+	var out []addr.AccountID
+	for _, e := range entries {
+		if e.t < lo || e.t > hi {
+			continue
+		}
+		if !seen[e.sender] {
+			seen[e.sender] = true
+			out = append(out, e.sender)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// WindowPoint is one point of the uniqueness-vs-uncertainty curve.
+type WindowPoint struct {
+	// DeltaSeconds is the clock uncertainty (the window is ±Δ).
+	DeltaSeconds uint32
+	// UniqueRate is the fraction of payments whose window query returns
+	// exactly one candidate sender.
+	UniqueRate float64
+}
+
+// UncertaintySweep measures, for each clock uncertainty Δ, how many of
+// the indexed payments an observer with that uncertainty de-anonymizes
+// uniquely. The payments slice must be the same set fed to Add.
+func (w *WindowIndex) UncertaintySweep(payments []Features, deltas []uint32) []WindowPoint {
+	out := make([]WindowPoint, 0, len(deltas))
+	for _, d := range deltas {
+		unique := 0
+		for _, f := range payments {
+			if len(w.Candidates(f, d)) == 1 {
+				unique++
+			}
+		}
+		rate := 0.0
+		if len(payments) > 0 {
+			rate = float64(unique) / float64(len(payments))
+		}
+		out = append(out, WindowPoint{DeltaSeconds: d, UniqueRate: rate})
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package deanon
+
+import (
+	"testing"
+
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+)
+
+func windowRes() Resolution {
+	return Resolution{Amount: AmountMax, Currency: true, Destination: true}
+}
+
+func TestWindowCandidatesRespectDelta(t *testing.T) {
+	w := NewWindowIndex(windowRes())
+	// Same (A,C,D) from three senders at t=1000, 1100, 5000.
+	for i, tm := range []uint32{1000, 1100, 5000} {
+		w.Add(feat(uint64(i+1), 50, amount.USD, "45", tm))
+	}
+	obs := feat(0, 50, amount.USD, "45", 1000)
+
+	if got := w.Candidates(obs, 0); len(got) != 1 {
+		t.Errorf("Δ=0: %d candidates, want 1", len(got))
+	}
+	if got := w.Candidates(obs, 150); len(got) != 2 {
+		t.Errorf("Δ=150: %d candidates, want 2", len(got))
+	}
+	if got := w.Candidates(obs, 10_000); len(got) != 3 {
+		t.Errorf("Δ=10000: %d candidates, want 3", len(got))
+	}
+	// A mismatched amount matches nothing at any window.
+	other := feat(0, 50, amount.USD, "85", 1000)
+	if got := w.Candidates(other, 10_000); len(got) != 0 {
+		t.Errorf("mismatched amount returned %d candidates", len(got))
+	}
+}
+
+func TestWindowDedupesSenders(t *testing.T) {
+	w := NewWindowIndex(windowRes())
+	for _, tm := range []uint32{1000, 1010, 1020} {
+		w.Add(feat(1, 50, amount.USD, "45", tm))
+	}
+	if got := w.Candidates(feat(0, 50, amount.USD, "45", 1010), 60); len(got) != 1 {
+		t.Errorf("repeat purchases by one sender: %d candidates, want 1", len(got))
+	}
+}
+
+func TestWindowUnderflowClamp(t *testing.T) {
+	w := NewWindowIndex(windowRes())
+	w.Add(feat(1, 50, amount.USD, "45", 5))
+	// Δ larger than the timestamp must not underflow.
+	if got := w.Candidates(feat(0, 50, amount.USD, "45", 10), 100); len(got) != 1 {
+		t.Errorf("clamped window lost the candidate")
+	}
+}
+
+func TestUncertaintySweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a history")
+	}
+	w := NewWindowIndex(windowRes())
+	var payments []Features
+	err := generateInto(t, func(p *ledger.Page) error {
+		for i := range p.Txs {
+			if f, ok := FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+				w.Add(f)
+				payments = append(payments, f)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := []uint32{0, 30, 300, 3600, 43_200, 86_400 * 7}
+	sweep := w.UncertaintySweep(payments, deltas)
+	for i, pt := range sweep {
+		t.Logf("Δ=%7ds unique=%.4f", pt.DeltaSeconds, pt.UniqueRate)
+		if i > 0 && pt.UniqueRate > sweep[i-1].UniqueRate+1e-9 {
+			t.Errorf("uniqueness increased with uncertainty at Δ=%d", pt.DeltaSeconds)
+		}
+	}
+	// Exact clocks de-anonymize nearly everything; a week of
+	// uncertainty leaves mostly the amount/destination signal.
+	if sweep[0].UniqueRate < 0.9 {
+		t.Errorf("Δ=0 unique rate = %.3f, want high", sweep[0].UniqueRate)
+	}
+	last := sweep[len(sweep)-1]
+	if last.UniqueRate >= sweep[0].UniqueRate {
+		t.Error("a week of clock uncertainty should cost accuracy")
+	}
+}

@@ -1,0 +1,283 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+)
+
+// The canonical binary codec. Encoding is deterministic — a requirement
+// for hashing and signing: fields are written in a fixed order with
+// fixed-width big-endian integers and length-prefixed byte strings.
+
+// ErrTruncated is returned when decoding runs out of input.
+var ErrTruncated = errors.New("ledger: truncated input")
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) bytes(b []byte) {
+	if len(b) > math.MaxUint16 {
+		panic("ledger: byte string too long") // internal invariant; no user data reaches here
+	}
+	e.u16(uint16(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) account(id addr.AccountID) { e.buf = append(e.buf, id[:]...) }
+func (e *encoder) hash(h Hash)               { e.buf = append(e.buf, h[:]...) }
+
+func (e *encoder) value(v amount.Value) {
+	neg := uint8(0)
+	if v.IsNegative() {
+		neg = 1
+	}
+	e.u8(neg)
+	e.u64(v.Mantissa())
+	e.u16(uint16(int16(v.Exponent())))
+}
+
+func (e *encoder) amount(a amount.Amount) {
+	c := a.Currency
+	e.buf = append(e.buf, c[0], c[1], c[2])
+	e.value(a.Value)
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrTruncated
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u16())
+	if n == 0 {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func (d *decoder) account() addr.AccountID {
+	var id addr.AccountID
+	b := d.take(20)
+	if b != nil {
+		copy(id[:], b)
+	}
+	return id
+}
+
+func (d *decoder) hash() Hash {
+	var h Hash
+	b := d.take(32)
+	if b != nil {
+		copy(h[:], b)
+	}
+	return h
+}
+
+func (d *decoder) value() amount.Value {
+	neg := d.u8()
+	mant := d.u64()
+	exp := int(int16(d.u16()))
+	if d.err != nil {
+		return amount.Value{}
+	}
+	m := int64(mant)
+	if m < 0 {
+		d.err = fmt.Errorf("ledger: mantissa %d out of range", mant)
+		return amount.Value{}
+	}
+	if neg == 1 {
+		m = -m
+	}
+	v, err := amount.NewValue(m, exp)
+	if err != nil {
+		d.err = fmt.Errorf("ledger: decoding value: %w", err)
+		return amount.Value{}
+	}
+	return v
+}
+
+func (d *decoder) amount() amount.Amount {
+	b := d.take(3)
+	var c amount.Currency
+	if b != nil {
+		copy(c[:], b)
+	}
+	v := d.value()
+	return amount.Amount{Currency: c, Value: v}
+}
+
+// txCodecVersion guards against decoding data written by an incompatible
+// build.
+const txCodecVersion = 1
+
+// Encode appends the canonical serialization of tx to buf and returns the
+// extended slice.
+func (tx *Tx) Encode(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.u8(txCodecVersion)
+	e.u8(uint8(tx.Type))
+	e.account(tx.Account)
+	e.u32(tx.Sequence)
+	e.u64(uint64(tx.Fee))
+	e.account(tx.Destination)
+	e.amount(tx.Amount)
+	e.account(tx.DestIssuer)
+	e.amount(tx.SendMax)
+	e.account(tx.SendIssuer)
+	e.amount(tx.TakerPays)
+	e.account(tx.TakerPaysIssuer)
+	e.amount(tx.TakerGets)
+	e.account(tx.TakerGetsIssuer)
+	e.u32(tx.OfferSequence)
+	e.account(tx.LimitPeer)
+	e.amount(tx.Limit)
+	e.bytes(tx.SigningKey)
+	e.bytes(tx.Signature)
+	return e.buf
+}
+
+// DecodeTx decodes one transaction from data and returns it together with
+// the number of bytes consumed.
+func DecodeTx(data []byte) (*Tx, int, error) {
+	d := decoder{buf: data}
+	ver := d.u8()
+	if d.err == nil && ver != txCodecVersion {
+		return nil, 0, fmt.Errorf("ledger: tx codec version %d, want %d", ver, txCodecVersion)
+	}
+	var tx Tx
+	tx.Type = TxType(d.u8())
+	tx.Account = d.account()
+	tx.Sequence = d.u32()
+	tx.Fee = amount.Drops(d.u64())
+	tx.Destination = d.account()
+	tx.Amount = d.amount()
+	tx.DestIssuer = d.account()
+	tx.SendMax = d.amount()
+	tx.SendIssuer = d.account()
+	tx.TakerPays = d.amount()
+	tx.TakerPaysIssuer = d.account()
+	tx.TakerGets = d.amount()
+	tx.TakerGetsIssuer = d.account()
+	tx.OfferSequence = d.u32()
+	tx.LimitPeer = d.account()
+	tx.Limit = d.amount()
+	tx.SigningKey = d.bytes()
+	tx.Signature = d.bytes()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return &tx, d.off, nil
+}
+
+// EncodeMeta appends the canonical serialization of m to buf.
+func (m *TxMeta) EncodeMeta(buf []byte) []byte {
+	e := encoder{buf: buf}
+	e.u8(uint8(m.Result))
+	e.amount(m.Delivered)
+	if len(m.PathHops) > math.MaxUint8 {
+		panic("ledger: too many parallel paths")
+	}
+	e.u8(uint8(len(m.PathHops)))
+	e.buf = append(e.buf, m.PathHops...)
+	e.u32(m.OffersConsumed)
+	cross := uint8(0)
+	if m.CrossCurrency {
+		cross = 1
+	}
+	e.u8(cross)
+	if len(m.Intermediaries) > math.MaxUint16 {
+		panic("ledger: too many intermediaries")
+	}
+	e.u16(uint16(len(m.Intermediaries)))
+	for _, a := range m.Intermediaries {
+		e.account(a)
+	}
+	return e.buf
+}
+
+// DecodeMeta decodes one TxMeta from data, returning bytes consumed.
+func DecodeMeta(data []byte) (*TxMeta, int, error) {
+	d := decoder{buf: data}
+	var m TxMeta
+	m.Result = TxResult(d.u8())
+	m.Delivered = d.amount()
+	if nPaths := int(d.u8()); nPaths > 0 {
+		if hops := d.take(nPaths); hops != nil {
+			m.PathHops = make([]uint8, nPaths)
+			copy(m.PathHops, hops)
+		}
+	}
+	m.OffersConsumed = d.u32()
+	m.CrossCurrency = d.u8() == 1
+	if n := int(d.u16()); n > 0 && d.err == nil {
+		m.Intermediaries = make([]addr.AccountID, 0, n)
+		for i := 0; i < n; i++ {
+			m.Intermediaries = append(m.Intermediaries, d.account())
+		}
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return &m, d.off, nil
+}

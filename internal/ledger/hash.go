@@ -1,0 +1,70 @@
+// Package ledger defines the Ripple distributed ledger's data model: the
+// transaction types users submit, the execution metadata the payment
+// engine records, and the ledger pages ("a book for recording financial
+// transactions") that consensus seals. It also provides the canonical
+// binary serialization and SHA-512-half hashing that identify
+// transactions and pages.
+package ledger
+
+import (
+	"crypto/sha512"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash is a 256-bit identifier: the first half of a SHA-512 digest, the
+// same construction rippled uses ("SHA-512Half") for transaction IDs and
+// ledger hashes.
+type Hash [32]byte
+
+// SHA512Half computes the first 32 bytes of SHA-512(data).
+func SHA512Half(data []byte) Hash {
+	sum := sha512.Sum512(data)
+	var h Hash
+	copy(h[:], sum[:32])
+	return h
+}
+
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// String renders the hash in uppercase hex, as rippled displays ledger
+// hashes.
+func (h Hash) String() string {
+	dst := make([]byte, hex.EncodedLen(len(h)))
+	hex.Encode(dst, h[:])
+	for i, c := range dst {
+		if c >= 'a' && c <= 'f' {
+			dst[i] = c - 'a' + 'A'
+		}
+	}
+	return string(dst)
+}
+
+// Short returns the first 8 hex characters, for logs and reports.
+func (h Hash) Short() string { return h.String()[:8] }
+
+// ParseHash parses a 64-character hex string.
+func ParseHash(s string) (Hash, error) {
+	if len(s) != 64 {
+		return Hash{}, fmt.Errorf("ledger: hash %q: want 64 hex characters", s)
+	}
+	var h Hash
+	if _, err := hex.Decode(h[:], []byte(s)); err != nil {
+		return Hash{}, fmt.Errorf("ledger: hash %q: %w", s, err)
+	}
+	return h, nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (h Hash) MarshalText() ([]byte, error) { return []byte(h.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (h *Hash) UnmarshalText(text []byte) error {
+	parsed, err := ParseHash(string(text))
+	if err != nil {
+		return err
+	}
+	*h = parsed
+	return nil
+}

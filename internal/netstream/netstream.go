@@ -1,0 +1,172 @@
+// Package netstream carries the validation stream over TCP as
+// newline-delimited JSON. It reproduces the paper's data-collection
+// setup: "we needed to collect real-time information on the consensus
+// rounds and the validation process in the system. We did so by setting
+// up a Ripple server that made use of the Ripple's validation stream."
+//
+// A Server attached to a consensus.Network publishes every validation
+// and ledger-close event to all connected subscribers; a Client is the
+// collection server that consumes them.
+package netstream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ripplestudy/internal/consensus"
+)
+
+// Server publishes consensus events to TCP subscribers.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]*bufio.Writer
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a server listening on address (use "127.0.0.1:0" for an
+// ephemeral port).
+func Serve(address string) (*Server, error) {
+	ln, err := net.Listen("tcp", address)
+	if err != nil {
+		return nil, fmt.Errorf("netstream: listen: %w", err)
+	}
+	s := &Server{ln: ln, conns: make(map[net.Conn]*bufio.Writer)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = bufio.NewWriterSize(conn, 1<<15)
+		s.mu.Unlock()
+	}
+}
+
+// Publish sends the event to every connected subscriber, dropping
+// subscribers whose connection fails. It is safe for concurrent use.
+func (s *Server) Publish(ev consensus.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		// Events are plain data; marshalling cannot fail in practice.
+		return
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn, w := range s.conns {
+		if _, err := w.Write(data); err != nil {
+			conn.Close()
+			delete(s.conns, conn)
+		}
+	}
+}
+
+// Flush pushes buffered events out to subscribers.
+func (s *Server) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn, w := range s.conns {
+		if err := w.Flush(); err != nil {
+			conn.Close()
+			delete(s.conns, conn)
+		}
+	}
+}
+
+// NumSubscribers reports the current subscriber count.
+func (s *Server) NumSubscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops accepting, flushes, and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn, w := range s.conns {
+		_ = w.Flush()
+		conn.Close()
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client consumes a validation stream.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a stream server.
+func Dial(address string) (*Client, error) {
+	conn, err := net.Dial("tcp", address)
+	if err != nil {
+		return nil, fmt.Errorf("netstream: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 1<<15)}, nil
+}
+
+// ErrStop can be returned from an Events callback to stop consumption
+// without error.
+var ErrStop = errors.New("netstream: stop")
+
+// Events reads events until the stream closes or fn returns an error.
+// Returning ErrStop stops cleanly.
+func (c *Client) Events(fn func(consensus.Event) error) error {
+	for {
+		line, err := c.r.ReadBytes('\n')
+		if len(line) > 0 {
+			var ev consensus.Event
+			if jerr := json.Unmarshal(line, &ev); jerr != nil {
+				return fmt.Errorf("netstream: bad event: %w", jerr)
+			}
+			if ferr := fn(ev); ferr != nil {
+				if errors.Is(ferr, ErrStop) {
+					return nil
+				}
+				return ferr
+			}
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("netstream: read: %w", err)
+		}
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,302 @@
+// Package orderbook implements Ripple's currency-exchange offers and
+// order books: the mechanism Market Makers use to bridge currencies.
+// Cross-currency payments consume offers ("the path with the best
+// exchange rate available"), and same-currency payments may use offers to
+// make up for missing direct trust, exactly as the paper's appendix
+// describes.
+//
+// Books are keyed by currency pair. Offers within a book are sorted by
+// quality — the ratio TakerPays/TakerGets, i.e. the price the taker pays
+// per unit received — best (lowest) first. Consumption is two-phase:
+// Quote computes fills without mutating, Apply commits them, which gives
+// the payment engine atomicity across multi-step executions.
+package orderbook
+
+import (
+	"fmt"
+	"sort"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+)
+
+// Offer is one standing exchange offer: the owner sells TakerGets in
+// exchange for TakerPays. A taker consuming the whole offer delivers
+// TakerPays to the owner and receives TakerGets.
+type Offer struct {
+	Owner addr.AccountID
+	Seq   uint32 // the OfferCreate transaction's sequence, identifies the offer
+	Pays  amount.Amount
+	Gets  amount.Amount
+}
+
+// Quality returns the taker's price: Pays per unit of Gets. Lower is
+// better for the taker.
+func (o *Offer) Quality() amount.Value {
+	q, err := o.Pays.Value.Div(o.Gets.Value)
+	if err != nil {
+		return amount.Zero // malformed offers sort first and are rejected at Place
+	}
+	return q
+}
+
+// Pair identifies a book: takers pay Pays currency and receive Gets
+// currency.
+type Pair struct {
+	Pays amount.Currency
+	Gets amount.Currency
+}
+
+// String implements fmt.Stringer.
+func (p Pair) String() string { return p.Pays.String() + "→" + p.Gets.String() }
+
+// book is the offer list for one pair, sorted by quality ascending.
+type book struct {
+	offers []*Offer
+}
+
+// Books is the full order-book set of the exchange. It is not safe for
+// concurrent mutation.
+type Books struct {
+	byPair  map[Pair]*book
+	byOwner map[addr.AccountID]map[uint32]*Offer
+}
+
+// New creates an empty book set.
+func New() *Books {
+	return &Books{
+		byPair:  make(map[Pair]*book),
+		byOwner: make(map[addr.AccountID]map[uint32]*Offer),
+	}
+}
+
+// Place inserts an offer into its book. Offers must sell and buy
+// different currencies and carry positive amounts.
+func (b *Books) Place(o *Offer) error {
+	if o.Pays.Currency == o.Gets.Currency {
+		return fmt.Errorf("orderbook: offer trades %s against itself", o.Pays.Currency)
+	}
+	if !o.Pays.Value.IsPositive() || !o.Gets.Value.IsPositive() {
+		return fmt.Errorf("orderbook: offer amounts must be positive: pays %s gets %s", o.Pays, o.Gets)
+	}
+	if owned := b.byOwner[o.Owner]; owned != nil {
+		if _, dup := owned[o.Seq]; dup {
+			return fmt.Errorf("orderbook: duplicate offer %s/%d", o.Owner.Short(), o.Seq)
+		}
+	}
+	pair := Pair{Pays: o.Pays.Currency, Gets: o.Gets.Currency}
+	bk, ok := b.byPair[pair]
+	if !ok {
+		bk = &book{}
+		b.byPair[pair] = bk
+	}
+	q := o.Quality()
+	idx := sort.Search(len(bk.offers), func(i int) bool {
+		return bk.offers[i].Quality().Cmp(q) > 0
+	})
+	bk.offers = append(bk.offers, nil)
+	copy(bk.offers[idx+1:], bk.offers[idx:])
+	bk.offers[idx] = o
+
+	owned, ok := b.byOwner[o.Owner]
+	if !ok {
+		owned = make(map[uint32]*Offer)
+		b.byOwner[o.Owner] = owned
+	}
+	owned[o.Seq] = o
+	return nil
+}
+
+// Cancel removes the offer identified by (owner, seq). It is not an
+// error to cancel a missing offer (it may have been fully consumed), in
+// which case Cancel reports false.
+func (b *Books) Cancel(owner addr.AccountID, seq uint32) bool {
+	owned := b.byOwner[owner]
+	o, ok := owned[seq]
+	if !ok {
+		return false
+	}
+	delete(owned, seq)
+	if len(owned) == 0 {
+		delete(b.byOwner, owner)
+	}
+	pair := Pair{Pays: o.Pays.Currency, Gets: o.Gets.Currency}
+	bk := b.byPair[pair]
+	for i, cand := range bk.offers {
+		if cand == o {
+			bk.offers = append(bk.offers[:i], bk.offers[i+1:]...)
+			break
+		}
+	}
+	if len(bk.offers) == 0 {
+		delete(b.byPair, pair)
+	}
+	return true
+}
+
+// Best returns the best (lowest quality) offer in the pair's book, or
+// nil when the book is empty.
+func (b *Books) Best(pair Pair) *Offer {
+	bk := b.byPair[pair]
+	if bk == nil || len(bk.offers) == 0 {
+		return nil
+	}
+	return bk.offers[0]
+}
+
+// Depth returns the number of standing offers in the pair's book.
+func (b *Books) Depth(pair Pair) int {
+	bk := b.byPair[pair]
+	if bk == nil {
+		return 0
+	}
+	return len(bk.offers)
+}
+
+// Fill records a partial or full consumption of one offer.
+type Fill struct {
+	Offer *Offer
+	// Pays is what the taker delivers to the offer owner; Gets is what
+	// the taker receives.
+	Pays amount.Value
+	Gets amount.Value
+}
+
+// Quote describes a prospective consumption of a book: the taker would
+// pay TotalPays (in pair.Pays currency) to receive TotalGets (in
+// pair.Gets currency) through Fills. TotalGets may be less than requested
+// when the book lacks liquidity.
+type Quote struct {
+	Pair      Pair
+	TotalPays amount.Value
+	TotalGets amount.Value
+	Fills     []Fill
+}
+
+// QuoteBuy computes, without mutating the book, how the taker can acquire
+// up to wantGets of the pair's Gets currency, walking offers from best
+// quality onward.
+func (b *Books) QuoteBuy(pair Pair, wantGets amount.Value) (Quote, error) {
+	q := Quote{Pair: pair}
+	if !wantGets.IsPositive() {
+		return q, fmt.Errorf("orderbook: quote for non-positive amount %s", wantGets)
+	}
+	bk := b.byPair[pair]
+	if bk == nil {
+		return q, nil
+	}
+	remaining := wantGets
+	for _, o := range bk.offers {
+		if !remaining.IsPositive() {
+			break
+		}
+		take := remaining.Min(o.Gets.Value)
+		// pays = take × quality
+		pays, err := take.Mul(o.Quality())
+		if err != nil {
+			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+		}
+		q.Fills = append(q.Fills, Fill{Offer: o, Pays: pays, Gets: take})
+		if q.TotalPays, err = q.TotalPays.Add(pays); err != nil {
+			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+		}
+		if q.TotalGets, err = q.TotalGets.Add(take); err != nil {
+			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+		}
+		if remaining, err = remaining.Sub(take); err != nil {
+			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+		}
+	}
+	return q, nil
+}
+
+// Apply commits a quote's fills: each offer shrinks by the consumed
+// amounts and empty offers leave the book. The quote must have been
+// produced by this book set with no intervening mutation.
+func (b *Books) Apply(q Quote) error {
+	for _, f := range q.Fills {
+		o := f.Offer
+		owned := b.byOwner[o.Owner]
+		if owned == nil || owned[o.Seq] != o {
+			return fmt.Errorf("orderbook: stale quote: offer %s/%d no longer standing", o.Owner.Short(), o.Seq)
+		}
+	}
+	for _, f := range q.Fills {
+		o := f.Offer
+		newGets, err := o.Gets.Value.Sub(f.Gets)
+		if err != nil {
+			return fmt.Errorf("orderbook: applying fill: %w", err)
+		}
+		newPays, err := o.Pays.Value.Sub(f.Pays)
+		if err != nil {
+			return fmt.Errorf("orderbook: applying fill: %w", err)
+		}
+		if newGets.IsNegative() {
+			return fmt.Errorf("orderbook: fill exceeds offer %s/%d", o.Owner.Short(), o.Seq)
+		}
+		o.Gets.Value = newGets
+		o.Pays.Value = newPays
+		// Dust or exhausted offers are removed (their quality is
+		// unchanged by proportional fills, so ordering is preserved).
+		if !o.Gets.Value.IsPositive() || !o.Pays.Value.IsPositive() {
+			b.Cancel(o.Owner, o.Seq)
+		}
+	}
+	return nil
+}
+
+// OffersOf returns the number of standing offers owned by account.
+func (b *Books) OffersOf(owner addr.AccountID) int { return len(b.byOwner[owner]) }
+
+// Owners calls fn for each account with standing offers and its count.
+func (b *Books) Owners(fn func(owner addr.AccountID, offers int)) {
+	for owner, m := range b.byOwner {
+		fn(owner, len(m))
+	}
+}
+
+// RemoveOwner cancels every standing offer of the account — the
+// market-maker ablation primitive.
+func (b *Books) RemoveOwner(owner addr.AccountID) int {
+	owned := b.byOwner[owner]
+	seqs := make([]uint32, 0, len(owned))
+	for seq := range owned {
+		seqs = append(seqs, seq)
+	}
+	for _, seq := range seqs {
+		b.Cancel(owner, seq)
+	}
+	return len(seqs)
+}
+
+// Pairs calls fn for each non-empty book.
+func (b *Books) Pairs(fn func(Pair, int)) {
+	for pair, bk := range b.byPair {
+		fn(pair, len(bk.offers))
+	}
+}
+
+// NumOffers returns the total number of standing offers.
+func (b *Books) NumOffers() int {
+	n := 0
+	for _, m := range b.byOwner {
+		n += len(m)
+	}
+	return n
+}
+
+// Clone deep-copies the book set for replay experiments.
+func (b *Books) Clone() *Books {
+	out := New()
+	for _, bk := range b.byPair {
+		for _, o := range bk.offers {
+			dup := *o
+			// Place re-derives all indexes; errors are impossible for
+			// offers that were already standing.
+			if err := out.Place(&dup); err != nil {
+				panic(fmt.Sprintf("orderbook: clone: %v", err))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,414 @@
+// Package pathfind implements Ripple's payment routing: it searches the
+// credit network for transaction paths ("a sequence of trust-lines, along
+// which IOU payments travel"), splits payments across parallel paths when
+// a single path lacks liquidity, and bridges currencies through order
+// books — directly or via XRP, "a universal bridge between markets".
+//
+// The planner is pure: it never mutates the trust graph or the books.
+// It produces a Plan — ordered trust flows plus order-book quotes — that
+// the payment engine applies atomically.
+package pathfind
+
+import (
+	"errors"
+	"fmt"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/orderbook"
+	"ripplestudy/internal/trustgraph"
+)
+
+// Defaults bounding the search. BFS returns shortest paths first, so a
+// generous hop bound does not lengthen organic routes; it only allows
+// the rare absurdly long chains the paper's Figure 6(a) shows (one
+// route used exactly 44 intermediate hops). Callers that want rippled's
+// tighter behaviour pass WithMaxHops.
+const (
+	DefaultMaxHops  = 46 // maximum intermediate accounts on one path
+	DefaultMaxPaths = 6  // maximum parallel paths per payment
+)
+
+// ErrNoPath is returned when no liquidity at all can be found.
+var ErrNoPath = errors.New("pathfind: no path with liquidity")
+
+// Flow is one planned trust-line movement: value flows From → To. Path
+// is the index of the parallel path the flow belongs to, so consumers
+// can attribute hops per path (an account on three parallel paths served
+// as an intermediate hop three times).
+type Flow struct {
+	From, To addr.AccountID
+	Currency amount.Currency
+	Value    amount.Value
+	Path     int
+}
+
+// PathInfo describes one parallel path for transaction metadata: the
+// number of intermediate accounts and the value carried.
+type PathInfo struct {
+	Hops  int
+	Value amount.Value
+}
+
+// Plan is an executable payment route. TrustFlows apply in order; Quotes
+// consume order-book offers. Delivered may be less than requested when
+// liquidity ran short — callers treat partial delivery as failure unless
+// they support partial payments.
+type Plan struct {
+	Src, Dst    addr.AccountID
+	Currency    amount.Currency // delivered currency
+	SrcCurrency amount.Currency // currency the sender spends
+	Delivered   amount.Value
+	SourceCost  amount.Value // amount spent in SrcCurrency
+	TrustFlows  []Flow
+	Quotes      []orderbook.Quote
+	Paths       []PathInfo
+	// UsedBridge records whether the plan crossed an order book (directly
+	// or via XRP) — cross-currency metadata for the analyses.
+	UsedBridge bool
+}
+
+// Finder searches for payment paths. The zero value is not usable; call
+// New.
+type Finder struct {
+	graph    *trustgraph.Graph
+	books    *orderbook.Books
+	maxHops  int
+	maxPaths int
+}
+
+// Option configures a Finder.
+type Option func(*Finder)
+
+// WithMaxHops bounds intermediate accounts per path.
+func WithMaxHops(n int) Option { return func(f *Finder) { f.maxHops = n } }
+
+// WithMaxPaths bounds the number of parallel paths per payment.
+func WithMaxPaths(n int) Option { return func(f *Finder) { f.maxPaths = n } }
+
+// New creates a Finder over a credit network and an order-book set.
+func New(graph *trustgraph.Graph, books *orderbook.Books, opts ...Option) *Finder {
+	f := &Finder{graph: graph, books: books, maxHops: DefaultMaxHops, maxPaths: DefaultMaxPaths}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// overlay tracks planned flows so capacity queries reflect in-plan usage
+// without mutating the graph.
+type overlayKey struct {
+	from, to addr.AccountID
+	cur      amount.Currency
+}
+
+type overlay struct {
+	g   *trustgraph.Graph
+	net map[overlayKey]amount.Value // net planned flow from→to
+}
+
+func newOverlay(g *trustgraph.Graph) *overlay {
+	return &overlay{g: g, net: make(map[overlayKey]amount.Value)}
+}
+
+// capacity returns residual capacity from→to: base capacity minus planned
+// forward flow plus planned reverse flow.
+func (o *overlay) capacity(from, to addr.AccountID, cur amount.Currency) amount.Value {
+	base := o.g.Capacity(from, to, cur)
+	fwd := o.net[overlayKey{from, to, cur}]
+	rev := o.net[overlayKey{to, from, cur}]
+	c, err := base.Sub(fwd)
+	if err != nil {
+		return amount.Zero
+	}
+	c, err = c.Add(rev)
+	if err != nil {
+		return amount.Zero
+	}
+	if c.IsNegative() {
+		return amount.Zero
+	}
+	return c
+}
+
+func (o *overlay) addFlow(from, to addr.AccountID, cur amount.Currency, v amount.Value) error {
+	k := overlayKey{from, to, cur}
+	sum, err := o.net[k].Add(v)
+	if err != nil {
+		return err
+	}
+	o.net[k] = sum
+	return nil
+}
+
+// FindPayment plans delivery of `deliver` (in its currency) from src to
+// dst. When srcCur differs from the delivery currency the plan bridges
+// through order books. XRP-to-XRP payments need no path (the ledger moves
+// drops directly); callers handle them before planning.
+func (f *Finder) FindPayment(src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) (*Plan, error) {
+	if src == dst {
+		return nil, fmt.Errorf("pathfind: src and dst are the same account")
+	}
+	if !deliver.Value.IsPositive() {
+		return nil, fmt.Errorf("pathfind: non-positive delivery %s", deliver)
+	}
+	if srcCur == deliver.Currency {
+		return f.planSameCurrency(src, dst, deliver)
+	}
+	return f.planCrossCurrency(src, dst, srcCur, deliver)
+}
+
+// planSameCurrency routes over trust-lines only, falling back to an
+// XRP auto-bridge (cur→XRP→cur through the books) for any residue the
+// trust network cannot carry.
+func (f *Finder) planSameCurrency(src, dst addr.AccountID, deliver amount.Amount) (*Plan, error) {
+	plan := &Plan{Src: src, Dst: dst, Currency: deliver.Currency, SrcCurrency: deliver.Currency}
+	ov := newOverlay(f.graph)
+	delivered, err := f.routeTrust(plan, ov, src, dst, deliver.Currency, deliver.Value)
+	if err != nil {
+		return nil, err
+	}
+	plan.Delivered = delivered
+	plan.SourceCost = delivered
+	if delivered.Cmp(deliver.Value) < 0 && !deliver.Currency.IsXRP() {
+		// Residue: try bridging the same currency through XRP books
+		// (sell cur for XRP, buy cur back). This is how offers "make up
+		// for the lack of direct trust on a particular currency".
+		residue, err := deliver.Value.Sub(delivered)
+		if err != nil {
+			return nil, err
+		}
+		if bridged := f.tryBridge(plan, ov, src, dst, deliver.Currency, amount.New(deliver.Currency, residue)); bridged != nil {
+			plan = bridged
+		}
+	}
+	if plan.Delivered.IsZero() {
+		return nil, ErrNoPath
+	}
+	return plan, nil
+}
+
+// routeTrust finds up to maxPaths augmenting paths carrying `want` from
+// src to dst in cur, appending flows and path metadata to the plan.
+// Returns the total value routed.
+func (f *Finder) routeTrust(plan *Plan, ov *overlay, src, dst addr.AccountID, cur amount.Currency, want amount.Value) (amount.Value, error) {
+	total := amount.Zero
+	remaining := want
+	for len(plan.Paths) < f.maxPaths && remaining.IsPositive() {
+		path := f.shortestPath(ov, src, dst, cur)
+		if path == nil {
+			break
+		}
+		// Bottleneck along the path, capped at the remaining need.
+		bottleneck := remaining
+		for i := 0; i+1 < len(path); i++ {
+			c := ov.capacity(path[i], path[i+1], cur)
+			bottleneck = bottleneck.Min(c)
+		}
+		if !bottleneck.IsPositive() {
+			break
+		}
+		for i := 0; i+1 < len(path); i++ {
+			plan.TrustFlows = append(plan.TrustFlows, Flow{
+				From: path[i], To: path[i+1], Currency: cur, Value: bottleneck,
+				Path: len(plan.Paths),
+			})
+			if err := ov.addFlow(path[i], path[i+1], cur, bottleneck); err != nil {
+				return amount.Zero, fmt.Errorf("pathfind: overlay: %w", err)
+			}
+		}
+		plan.Paths = append(plan.Paths, PathInfo{Hops: len(path) - 2, Value: bottleneck})
+		var err error
+		if total, err = total.Add(bottleneck); err != nil {
+			return amount.Zero, err
+		}
+		if remaining, err = remaining.Sub(bottleneck); err != nil {
+			return amount.Zero, err
+		}
+	}
+	return total, nil
+}
+
+// shortestPath runs a BFS from src to dst over edges with positive
+// residual capacity, bounded by maxHops intermediate accounts. It returns
+// the node list src..dst, or nil.
+func (f *Finder) shortestPath(ov *overlay, src, dst addr.AccountID, cur amount.Currency) []addr.AccountID {
+	type visit struct {
+		parent addr.AccountID
+		depth  int
+	}
+	visited := map[addr.AccountID]visit{src: {depth: 0}}
+	frontier := []addr.AccountID{src}
+	maxLen := f.maxHops + 1 // edges allowed = intermediate hops + 1
+	for len(frontier) > 0 {
+		var next []addr.AccountID
+		for _, u := range frontier {
+			du := visited[u].depth
+			if du >= maxLen {
+				continue
+			}
+			found := false
+			f.graph.Neighbors(u, cur, func(peer addr.AccountID, _ amount.Value) {
+				if found {
+					return
+				}
+				if _, seen := visited[peer]; seen {
+					return
+				}
+				if !ov.capacity(u, peer, cur).IsPositive() {
+					return
+				}
+				visited[peer] = visit{parent: u, depth: du + 1}
+				if peer == dst {
+					found = true
+					return
+				}
+				next = append(next, peer)
+			})
+			if found {
+				// Reconstruct.
+				var rev []addr.AccountID
+				for at := dst; ; at = visited[at].parent {
+					rev = append(rev, at)
+					if at == src {
+						break
+					}
+				}
+				path := make([]addr.AccountID, len(rev))
+				for i := range rev {
+					path[i] = rev[len(rev)-1-i]
+				}
+				return path
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// bridgeQuote finds the cheapest conversion of srcCur into `deliver`:
+// the direct book, or an XRP auto-bridge composing two books. It returns
+// the quotes (1 or 2) and the source-currency cost, or ok=false when no
+// liquidity exists.
+func (f *Finder) bridgeQuote(srcCur amount.Currency, deliver amount.Amount) (quotes []orderbook.Quote, cost amount.Value, ok bool) {
+	type option struct {
+		quotes []orderbook.Quote
+		cost   amount.Value
+	}
+	var best *option
+
+	// Direct book: taker pays srcCur, receives deliver.Currency.
+	direct, err := f.books.QuoteBuy(orderbook.Pair{Pays: srcCur, Gets: deliver.Currency}, deliver.Value)
+	if err == nil && direct.TotalGets.Cmp(deliver.Value) == 0 {
+		best = &option{quotes: []orderbook.Quote{direct}, cost: direct.TotalPays}
+	}
+
+	// Auto-bridge via XRP: buy deliver with XRP, then buy that XRP with
+	// srcCur. Skipped when either leg is already XRP.
+	if !srcCur.IsXRP() && !deliver.Currency.IsXRP() {
+		leg2, err2 := f.books.QuoteBuy(orderbook.Pair{Pays: amount.XRP, Gets: deliver.Currency}, deliver.Value)
+		if err2 == nil && leg2.TotalGets.Cmp(deliver.Value) == 0 {
+			leg1, err1 := f.books.QuoteBuy(orderbook.Pair{Pays: srcCur, Gets: amount.XRP}, leg2.TotalPays)
+			if err1 == nil && leg1.TotalGets.Cmp(leg2.TotalPays) == 0 {
+				if best == nil || leg1.TotalPays.Cmp(best.cost) < 0 {
+					best = &option{quotes: []orderbook.Quote{leg1, leg2}, cost: leg1.TotalPays}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, amount.Zero, false
+	}
+	return best.quotes, best.cost, true
+}
+
+// planCrossCurrency bridges srcCur→deliver.Currency through books, then
+// routes the source side src→(offer owners) and the delivery side
+// (offer owners)→dst over trust-lines.
+func (f *Finder) planCrossCurrency(src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) (*Plan, error) {
+	plan := &Plan{Src: src, Dst: dst, Currency: deliver.Currency, SrcCurrency: srcCur}
+	ov := newOverlay(f.graph)
+	out := f.tryBridge(plan, ov, src, dst, srcCur, deliver)
+	if out == nil || out.Delivered.IsZero() {
+		return nil, ErrNoPath
+	}
+	return out, nil
+}
+
+// tryBridge attempts to add a bridged route for `deliver` to the plan.
+// It returns the updated plan, or nil when bridging is impossible.
+//
+// Routing model: the sender moves srcCur to each consumed offer's owner
+// over trust-lines (unless the leg is XRP, which transfers freely), the
+// conversion happens at the owner, and the owner moves the delivery
+// currency to the destination over trust-lines. A leg with no trust route
+// voids the bridge.
+func (f *Finder) tryBridge(plan *Plan, ov *overlay, src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) *Plan {
+	quotes, cost, ok := f.bridgeQuote(srcCur, deliver)
+	if !ok {
+		return nil
+	}
+	// Snapshot plan state for rollback-free trial: work on a copy.
+	trial := *plan
+	trial.TrustFlows = append([]Flow(nil), plan.TrustFlows...)
+	trial.Paths = append([]PathInfo(nil), plan.Paths...)
+	trial.Quotes = append([]orderbook.Quote(nil), plan.Quotes...)
+
+	entry := quotes[0]            // sender pays srcCur into this quote's offers
+	exit := quotes[len(quotes)-1] // delivery currency comes out of this quote's offers
+
+	// Source leg: src → each entry-offer owner, in srcCur.
+	if !srcCur.IsXRP() {
+		for _, fill := range entry.Fills {
+			owner := fill.Offer.Owner
+			if owner == src {
+				continue // self-owned offer: no movement needed
+			}
+			savedPaths := len(trial.Paths)
+			routed, err := f.routeTrust(&trial, ov, src, owner, srcCur, fill.Pays)
+			if err != nil || routed.Cmp(fill.Pays) < 0 {
+				return nil
+			}
+			// Source-side hops are part of the overall path; fold their
+			// path records into bridge accounting below by trimming the
+			// separate entries (we count one logical path per fill).
+			trial.Paths = trial.Paths[:savedPaths]
+		}
+	}
+	// Delivery leg: each exit-offer owner → dst, in deliver.Currency.
+	exitHops := 0
+	if !deliver.Currency.IsXRP() {
+		for _, fill := range exit.Fills {
+			owner := fill.Offer.Owner
+			if owner == dst {
+				continue
+			}
+			savedPaths := len(trial.Paths)
+			routed, err := f.routeTrust(&trial, ov, owner, dst, deliver.Currency, fill.Gets)
+			if err != nil || routed.Cmp(fill.Gets) < 0 {
+				return nil
+			}
+			for _, p := range trial.Paths[savedPaths:] {
+				if p.Hops > exitHops {
+					exitHops = p.Hops
+				}
+			}
+			trial.Paths = trial.Paths[:savedPaths]
+		}
+	}
+	trial.Quotes = append(trial.Quotes, quotes...)
+	// Record one logical parallel path per exit fill; each crosses the
+	// offer owner (1 hop) plus any trust hops on the delivery leg.
+	for _, fill := range exit.Fills {
+		trial.Paths = append(trial.Paths, PathInfo{Hops: 1 + exitHops, Value: fill.Gets})
+	}
+	var err error
+	if trial.Delivered, err = trial.Delivered.Add(deliver.Value); err != nil {
+		return nil
+	}
+	if trial.SourceCost, err = trial.SourceCost.Add(cost); err != nil {
+		return nil
+	}
+	trial.UsedBridge = true
+	return &trial
+}

@@ -1,0 +1,197 @@
+package payment
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+)
+
+// TestPropXRPConservation drives a random XRP workload and verifies the
+// fundamental supply invariant: circulating drops + destroyed fees =
+// genesis supply, at every step.
+func TestPropXRPConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	e := NewEngine()
+	const n = 12
+	keys := make([]*addr.KeyPair, n)
+	for i := range keys {
+		keys[i] = kp(uint64(i + 1))
+		e.Fund(keys[i].AccountID(), 1_000_000_000)
+	}
+	accounts := append([]addr.AccountID{addr.AccountZero}, make([]addr.AccountID, 0, n)...)
+	for _, k := range keys {
+		accounts = append(accounts, k.AccountID())
+	}
+	checkSupply := func(step int) {
+		var circulating uint64
+		for _, a := range accounts {
+			circulating += uint64(e.XRPBalance(a))
+		}
+		if circulating+uint64(e.FeesDestroyed()) != ledger.GenesisTotalDrops {
+			t.Fatalf("step %d: circulating %d + destroyed %d != genesis %d",
+				step, circulating, e.FeesDestroyed(), ledger.GenesisTotalDrops)
+		}
+		if e.TotalDrops() != ledger.GenesisTotalDrops-uint64(e.FeesDestroyed()) {
+			t.Fatalf("step %d: TotalDrops out of sync", step)
+		}
+	}
+	checkSupply(0)
+	for i := 0; i < 500; i++ {
+		from := keys[r.Intn(n)]
+		to := keys[r.Intn(n)]
+		if from == to {
+			continue
+		}
+		tx := &ledger.Tx{
+			Type:        ledger.TxPayment,
+			Account:     from.AccountID(),
+			Sequence:    e.NextSequence(from.AccountID()),
+			Fee:         amount.Drops(10 + r.Intn(100)),
+			Destination: to.AccountID(),
+			// Sometimes more than the balance, to exercise failures.
+			Amount: amount.XRPAmount(amount.Drops(r.Int63n(2_000_000_000))),
+		}
+		tx.Sign(from)
+		if _, err := e.Apply(tx); err != nil {
+			t.Fatal(err)
+		}
+		checkSupply(i + 1)
+	}
+}
+
+// TestPropIOUConservation verifies that issued-currency payments are
+// zero-sum over the credit network: the sum of all pair balances,
+// signed consistently, equals the net issuance — and rippled payments
+// between users never change the total.
+func TestPropIOUConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	e := NewEngine()
+	gw := kp(1)
+	users := make([]*addr.KeyPair, 8)
+	e.Fund(gw.AccountID(), 1_000_000_000)
+	for i := range users {
+		users[i] = kp(uint64(i + 2))
+		e.Fund(users[i].AccountID(), 1_000_000_000)
+	}
+	apply := func(k *addr.KeyPair, mutate func(*ledger.Tx)) *ledger.TxMeta {
+		tx := &ledger.Tx{Account: k.AccountID(), Sequence: e.NextSequence(k.AccountID()), Fee: 10}
+		mutate(tx)
+		tx.Sign(k)
+		m, err := e.Apply(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	// Users trust the gateway and each other a bit.
+	for _, u := range users {
+		apply(u, func(tx *ledger.Tx) {
+			tx.Type = ledger.TxTrustSet
+			tx.LimitPeer = gw.AccountID()
+			tx.Limit = amount.New(amount.USD, amount.MustParse("1000"))
+		})
+	}
+	for i := 0; i < 10; i++ {
+		a, b := users[r.Intn(len(users))], users[r.Intn(len(users))]
+		if a == b {
+			continue
+		}
+		apply(a, func(tx *ledger.Tx) {
+			tx.Type = ledger.TxTrustSet
+			tx.LimitPeer = b.AccountID()
+			tx.Limit = amount.New(amount.USD, amount.MustParse("500"))
+		})
+	}
+	// The gateway issues deposits; net issuance is what it owes.
+	issued := amount.Zero
+	for _, u := range users {
+		v := amount.FromInt64(int64(100 + r.Intn(400)))
+		m := apply(gw, func(tx *ledger.Tx) {
+			tx.Type = ledger.TxPayment
+			tx.Destination = u.AccountID()
+			tx.Amount = amount.New(amount.USD, v)
+		})
+		if m.Result.Succeeded() {
+			var err error
+			if issued, err = issued.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The gateway's net debt must equal its issuance: rippled payments
+	// move debt between creditors but never mint it.
+	gwDebt := func() amount.Value {
+		sum := amount.Zero
+		for _, u := range users {
+			owed := e.Graph().Owed(u.AccountID(), gw.AccountID(), amount.USD)
+			var err error
+			if sum, err = sum.Add(owed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sum
+	}
+	if got := gwDebt(); got.Cmp(issued) != 0 {
+		t.Fatalf("gateway debt %s != issuance %s", got, issued)
+	}
+	// Random user-to-user payments: the gateway's total debt must stay
+	// exactly the issuance (debt moves, it is not created).
+	for i := 0; i < 300; i++ {
+		a, b := users[r.Intn(len(users))], users[r.Intn(len(users))]
+		if a == b {
+			continue
+		}
+		apply(a, func(tx *ledger.Tx) {
+			tx.Type = ledger.TxPayment
+			tx.Destination = b.AccountID()
+			tx.Amount = amount.New(amount.USD, amount.FromInt64(int64(1+r.Intn(120))))
+		})
+		if got := gwDebt(); got.Cmp(issued) != 0 {
+			t.Fatalf("step %d: gateway debt %s != issuance %s (payments must move debt, not mint it)",
+				i, got, issued)
+		}
+		if errs := e.Graph().CheckInvariants(); len(errs) != 0 {
+			t.Fatalf("step %d: %v", i, errs[0])
+		}
+	}
+}
+
+// TestPropFailedPaymentsAreNoOps verifies atomicity: a failed payment
+// leaves every balance untouched.
+func TestPropFailedPaymentsAreNoOps(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	alice, bob := kp(1), kp(2)
+	e := fundedEngine(t, alice, bob)
+	submit(t, e, alice, func(tx *ledger.Tx) {
+		tx.Type = ledger.TxTrustSet
+		tx.LimitPeer = bob.AccountID()
+		tx.Limit = amount.New(amount.USD, val("10"))
+	})
+	for i := 0; i < 200; i++ {
+		beforeXRPAlice := e.XRPBalance(alice.AccountID())
+		beforeXRPBob := e.XRPBalance(bob.AccountID())
+		beforeOwed := e.Graph().Owed(alice.AccountID(), bob.AccountID(), amount.USD)
+		// An always-failing payment: far above the 10 USD limit.
+		meta := submit(t, e, bob, func(tx *ledger.Tx) {
+			tx.Type = ledger.TxPayment
+			tx.Destination = alice.AccountID()
+			tx.Amount = amount.New(amount.USD, amount.FromInt64(int64(100+r.Intn(1000))))
+		})
+		if meta.Result.Succeeded() {
+			t.Fatal("over-limit payment succeeded")
+		}
+		if e.Graph().Owed(alice.AccountID(), bob.AccountID(), amount.USD).Cmp(beforeOwed) != 0 {
+			t.Fatal("failed payment moved IOU balance")
+		}
+		if e.XRPBalance(alice.AccountID()) != beforeXRPAlice {
+			t.Fatal("failed payment touched the destination's XRP")
+		}
+		// Only the fee left the sender.
+		if e.XRPBalance(bob.AccountID()) != beforeXRPBob-amount.Drops(BaseFee) {
+			t.Fatal("failed payment moved more than the fee")
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package synth generates a calibrated synthetic Ripple history: the
+// stand-in for the paper's 500 GB ledger download (Jan 2013 – Sep 2015,
+// 23M payments). The generator builds a population of gateways, market
+// makers, hub accounts, and ordinary users; wires the trust topology;
+// places exchange offers; and then drives a payment workload through the
+// real payment engine so every recorded transaction carries genuine path
+// and order-book metadata.
+//
+// Calibration targets (the paper's reported marginals):
+//   - currency mix: XRP 49% of payments, CCK and MTL next (spam
+//     campaigns), then BTC 4.7%, USD 3.8%, CNY 3.3%, JPY 2.1%, EUR 0.4%,
+//     and a long tail (Fig. 4);
+//   - MTL spam forced through exactly 8 intermediate hops and 6 parallel
+//     paths (Fig. 6);
+//   - offer concentration: top-10 market makers place ~50% of offers,
+//     top-50 ~75%, top-100 ~87% (Appendix C);
+//   - ~10% of XRP payments to the Ripple Spin gambling account, and a
+//     steady stream of spam to ACCOUNT_ZERO (Appendix A);
+//   - gateways collect trust and hold negative balances; common users
+//     hold positive balances (Fig. 7).
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+)
+
+// GatewayNames are the publicly endorsed gateways of Figure 7.
+var GatewayNames = []string{
+	"SnapSwap", "Ripple Fox", "Bitstamp", "RippleChina", "Ripple Trade Japan",
+	"rippleCN", "Justcoin", "The Rock Trading", "TokyoJPY", "Dividend Rippler",
+	"Ripple Exchange Tokyo", "Digital Gate Japan", "Payroutes", "Mr. Ripple",
+	"WisePass", "Bitso", "DotPayco", "Coinex", "Ripple LatAm", "Ripple Singapore",
+}
+
+// Gateway is a bank-like account: an entry/exit point that issues IOUs
+// and is trusted by many users.
+type Gateway struct {
+	Name       string
+	Key        *addr.KeyPair
+	ID         addr.AccountID
+	Currencies []amount.Currency
+}
+
+// Line records one of a user's funded trust-lines: a currency held at a
+// host — usually a gateway, but often a market maker acting as a
+// point-of-exchange. MM-hosted lines are what makes "almost 63% of
+// single-currency transactions fail" when the market makers are removed
+// (Table II): those users lose their only way in or out of the credit
+// network.
+type Line struct {
+	Host     *addr.KeyPair
+	HostID   addr.AccountID
+	MMHosted bool
+	Currency amount.Currency
+}
+
+// User is an ordinary account holding balances at one or more gateways.
+type User struct {
+	Key *addr.KeyPair
+	ID  addr.AccountID
+	// Gateways indexes into Population.Gateways: where the user holds
+	// balances. Multiple memberships create the parallel payment paths
+	// of Figure 6(b).
+	Gateways []int
+	// Lines are the user's funded trust-lines, filled in during setup.
+	Lines []Line
+	// Merchant users receive consumer payments priced from a small menu
+	// (the "latte" price list), making amount values repeat.
+	Merchant bool
+	Prices   []amount.Value // non-empty only for merchants
+}
+
+// MarketMaker owns exchange offers. OfferWeight implements the zipfian
+// concentration of offers over makers.
+type MarketMaker struct {
+	Key         *addr.KeyPair
+	ID          addr.AccountID
+	OfferWeight float64
+}
+
+// Population is the cast of the synthetic history.
+type Population struct {
+	Gateways     []Gateway
+	Users        []User
+	MarketMakers []MarketMaker
+
+	// Hubs are the two hyper-connected non-gateway accounts the paper
+	// singles out (rp2PaY… and r42Ccn…, both activated by ~akhavr).
+	Hubs [2]User
+	// Akhavr is the account that activated the hubs.
+	Akhavr *addr.KeyPair
+	// Attacker submits the MTL spam campaign.
+	Attacker *addr.KeyPair
+	// CCKSpammers run the CCK micro-transaction flood.
+	CCKSpammers []*addr.KeyPair
+	// RippleSpin is the XRP gambling site's receiving account.
+	RippleSpin *addr.KeyPair
+	// SpamRelays are the dedicated accounts on the tail of each MTL spam
+	// chain. Each of the 6 chains runs attacker → hub1 → three gateways
+	// → hub2 → three relays → sink: exactly 8 intermediaries, so the
+	// spam is "routed through exactly 8 intermediate hops" while the
+	// hubs and gateways — not anonymous throwaways — absorb the path
+	// appearances, as in Figure 7(a).
+	SpamRelays [6][3]*addr.KeyPair
+	// SpamSink receives the MTL spam.
+	SpamSink *addr.KeyPair
+	// LongChain is the 44-intermediary oddity visible at the far right
+	// of the paper's Figure 6(a) x-axis: a dedicated route of absurd
+	// length (sender, 44 intermediates, receiver), exercised a handful
+	// of times.
+	LongChain []*addr.KeyPair
+
+	registry *Registry
+}
+
+// Registry maps accounts to human-readable names and roles, standing in
+// for the paper's crowd-sourced gateway list and manual investigation.
+type Registry struct {
+	names    map[addr.AccountID]string
+	gateways map[addr.AccountID]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		names:    make(map[addr.AccountID]string),
+		gateways: make(map[addr.AccountID]bool),
+	}
+}
+
+// SetName records a display name.
+func (r *Registry) SetName(id addr.AccountID, name string) { r.names[id] = name }
+
+// MarkGateway records that the account is a publicly announced gateway.
+func (r *Registry) MarkGateway(id addr.AccountID) { r.gateways[id] = true }
+
+// Name returns the display name, falling back to the truncated address.
+func (r *Registry) Name(id addr.AccountID) string {
+	if n, ok := r.names[id]; ok {
+		return n
+	}
+	return id.Short()
+}
+
+// IsGateway reports whether the account is a known gateway.
+func (r *Registry) IsGateway(id addr.AccountID) bool { return r.gateways[id] }
+
+// Registry exposes the population's registry.
+func (p *Population) Registry() *Registry { return p.registry }
+
+// Currency universe: the Figure 4 ranking. Weights are fractions of all
+// payments; the organic tail decays geometrically.
+type currencyShare struct {
+	cur   amount.Currency
+	share float64
+}
+
+// paymentMix returns the Figure 4 currency mix. XRP, CCK, and MTL carry
+// dedicated traffic models (gambling/spam); the rest are organic IOU
+// payments.
+func paymentMix() []currencyShare {
+	mix := []currencyShare{
+		{amount.XRP, 0.49},
+		{amount.CCK, 0.16},
+		{amount.MTL, 0.14},
+		{amount.BTC, 0.047},
+		{amount.USD, 0.038},
+		{amount.CNY, 0.033},
+		{amount.JPY, 0.021},
+	}
+	// Long tail, ordered as in Figure 4, geometric decay summing to the
+	// remaining ~7%.
+	tail := []string{
+		"SFO", "DVC", "GWD", "EUR", "RSC", "ICE", "STR", "GKO", "KRW",
+		"TRC", "LTC", "CAD", "FMM", "MXN", "XTC", "XNF", "BRL", "DNX",
+		"WTC", "ILS", "DOG", "GBP", "XEC", "NZD", "LWT", "NXT", "YOU",
+		"ONC", "TBC", "CSC", "MRH", "SWD", "AUD", "NMC", "CTC", "PCV",
+		"IOU", "LIK", "UKN", "RES", "JED", "VTC", "RJP",
+	}
+	remaining := 1.0
+	for _, m := range mix {
+		remaining -= m.share
+	}
+	w := remaining * 0.18
+	for _, code := range tail {
+		mix = append(mix, currencyShare{amount.MustCurrency(code), w})
+		w *= 0.88
+	}
+	return mix
+}
+
+// organicCurrencies returns the currencies carried by ordinary IOU
+// traffic (everything except XRP and the spam codes).
+func organicCurrencies(mix []currencyShare) []currencyShare {
+	var out []currencyShare
+	for _, m := range mix {
+		if m.cur == amount.XRP || m.cur == amount.CCK || m.cur == amount.MTL {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// gatewayCurrency assigns each gateway its primary currencies, loosely
+// following the real gateways (Bitstamp: BTC/USD, TokyoJPY: JPY, ...).
+func gatewayCurrencies(i int, organic []currencyShare) []amount.Currency {
+	// Every gateway issues the four majors plus two tail currencies, so
+	// all organic currencies are routable somewhere.
+	majors := []amount.Currency{amount.BTC, amount.USD, amount.CNY, amount.JPY}
+	out := append([]amount.Currency(nil), majors...)
+	if len(organic) > 0 {
+		out = append(out, organic[(2*i)%len(organic)].cur, organic[(2*i+1)%len(organic)].cur)
+	}
+	return out
+}
+
+// BuildPopulation derives a deterministic population of the given size.
+// nUsers scales with the target payment count; the paper's full scale is
+// 165k users (~55k active).
+func BuildPopulation(rng *rand.Rand, nUsers, nMarketMakers int) *Population {
+	if nUsers < 50 {
+		nUsers = 50
+	}
+	if nMarketMakers < 10 {
+		nMarketMakers = 10
+	}
+	reg := NewRegistry()
+	p := &Population{registry: reg}
+
+	mix := paymentMix()
+	organic := organicCurrencies(mix)
+
+	seed := uint64(1 << 20)
+	nextKey := func() *addr.KeyPair {
+		seed++
+		return addr.KeyPairFromSeed(seed)
+	}
+
+	for i, name := range GatewayNames {
+		kp := nextKey()
+		g := Gateway{
+			Name:       name,
+			Key:        kp,
+			ID:         kp.AccountID(),
+			Currencies: gatewayCurrencies(i, organic),
+		}
+		p.Gateways = append(p.Gateways, g)
+		reg.SetName(g.ID, name)
+		reg.MarkGateway(g.ID)
+	}
+
+	for i := 0; i < nUsers; i++ {
+		kp := nextKey()
+		u := User{Key: kp, ID: kp.AccountID()}
+		// Membership count 1–4, biased high; multiple memberships create
+		// parallel paths.
+		n := 1 + weightedIndex(rng, []float64{0.2, 0.25, 0.25, 0.3})
+		u.Gateways = zipfDistinct(rng, len(p.Gateways), n)
+		// ~15% of users are merchants with a short price menu.
+		if rng.Float64() < 0.15 {
+			u.Merchant = true
+			prices := 1 + rng.Intn(8)
+			for j := 0; j < prices; j++ {
+				u.Prices = append(u.Prices, merchantPrice(rng))
+			}
+		}
+		p.Users = append(p.Users, u)
+		_ = i
+	}
+
+	// Market makers with zipfian offer weights: weight ∝ 1/rank^s with s
+	// tuned so the top-10 share is ~50% at 150 makers.
+	for i := 0; i < nMarketMakers; i++ {
+		kp := nextKey()
+		mm := MarketMaker{Key: kp, ID: kp.AccountID(), OfferWeight: offerWeight(i)}
+		p.MarketMakers = append(p.MarketMakers, mm)
+	}
+
+	// The two hyper-connected hubs and their activator.
+	p.Akhavr = nextKey()
+	reg.SetName(p.Akhavr.AccountID(), "~akhavr")
+	for i := range p.Hubs {
+		kp := nextKey()
+		p.Hubs[i] = User{Key: kp, ID: kp.AccountID()}
+		reg.SetName(kp.AccountID(), fmt.Sprintf("hub-%d", i+1))
+	}
+
+	// Spam infrastructure.
+	p.Attacker = nextKey()
+	reg.SetName(p.Attacker.AccountID(), "mtl-attacker")
+	p.SpamSink = nextKey()
+	reg.SetName(p.SpamSink.AccountID(), "mtl-sink")
+	for c := range p.SpamRelays {
+		for h := range p.SpamRelays[c] {
+			p.SpamRelays[c][h] = nextKey()
+		}
+	}
+	for i := 0; i < 5; i++ {
+		p.CCKSpammers = append(p.CCKSpammers, nextKey())
+	}
+	for i := 0; i < 46; i++ {
+		p.LongChain = append(p.LongChain, nextKey())
+	}
+	p.RippleSpin = nextKey()
+	reg.SetName(p.RippleSpin.AccountID(), "~Ripple Spin")
+
+	return p
+}
+
+// weightedIndex draws an index with the given weights.
+func weightedIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	pick := rng.Float64() * total
+	for i, w := range weights {
+		if pick < w {
+			return i
+		}
+		pick -= w
+	}
+	return len(weights) - 1
+}
+
+// zipfDistinct draws k distinct indexes in [0, n) with ~1/rank
+// popularity: a handful of hosts (the Bitstamps of the network)
+// accumulate most memberships.
+func zipfDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		idx := int(math.Pow(float64(n), rng.Float64())) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// offerWeight gives market maker at rank i (0-based) its share weight.
+// A zipf exponent of 1.1 over 150 makers puts ~50% of mass on the top
+// 10, ~75% on the top 50, matching the paper's concentration.
+func offerWeight(i int) float64 {
+	rank := float64(i + 1)
+	return 1 / math.Pow(rank, 1.1)
+}
+
+// merchantPrice draws a price-list entry: human-looking round prices
+// (4.5, 10, 12.99, ...).
+func merchantPrice(rng *rand.Rand) amount.Value {
+	switch rng.Intn(3) {
+	case 0: // small round: 0.5 .. 20.0 in halves
+		halves := 1 + rng.Intn(40)
+		return amount.MustValue(int64(halves*5), -1)
+	case 1: // integer price 1..200
+		return amount.FromInt64(int64(1 + rng.Intn(200)))
+	default: // .99 price
+		return amount.MustValue(int64(rng.Intn(100)*100+99), -2)
+	}
+}

@@ -1,0 +1,205 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"ripplestudy/internal/amount"
+)
+
+// RateUSD returns the approximate 2015 market value of one unit of the
+// currency in US dollars. The analyses use it for cross-currency
+// aggregation (Fig. 7's balances "aggregated and shown in EUR") and the
+// generator uses it to scale amounts and offer prices.
+func RateUSD(c amount.Currency) float64 {
+	switch c {
+	case amount.XRP:
+		return 0.008
+	case amount.BTC:
+		return 250
+	case amount.XAU:
+		return 1150
+	case amount.XAG:
+		return 16
+	case amount.XPT:
+		return 1000
+	case amount.USD:
+		return 1
+	case amount.EUR:
+		return 1.1
+	case amount.GBP:
+		return 1.5
+	case amount.AUD:
+		return 0.75
+	case amount.CNY:
+		return 0.155
+	case amount.JPY:
+		return 0.0085
+	case amount.KRW:
+		return 0.0009
+	case amount.STR:
+		return 0.002
+	case amount.CCK:
+		// The paper finds CCK payments micro-sized, "similar to the
+		// BTC": treat it as a strong unit.
+		return 150
+	case amount.MTL:
+		// MTL is the ledger-spam currency: amounts around 1e9 units.
+		return 1e-9
+	default:
+		return 0.25 // tail currencies
+	}
+}
+
+// RateEUR converts one unit of the currency to euro, the reference
+// currency of Figure 7(c).
+func RateEUR(c amount.Currency) float64 { return RateUSD(c) / RateUSD(amount.EUR) }
+
+// amountModel draws human-plausible payment amounts for one currency.
+type amountModel struct {
+	typical float64 // typical payment, in currency units
+	sigma   float64 // lognormal spread
+	grid    int     // RoundToPow10 exponent for p2p amounts
+}
+
+// modelKey collapses unlisted tail currencies onto a shared model.
+func modelKey(c amount.Currency) amount.Currency {
+	switch c {
+	case amount.XRP, amount.BTC, amount.USD, amount.EUR, amount.CNY, amount.JPY,
+		amount.KRW, amount.GBP, amount.AUD, amount.CCK, amount.MTL:
+		return c
+	default:
+		return amount.Currency{'*', '*', '*'}
+	}
+}
+
+// buildAmountModels derives per-currency models: a typical payment of
+// ~$100 converted at the market rate with a wide lognormal spread
+// (Figure 5's survival functions span many decades), and rounding grids
+// that produce human-looking amounts (integer yen, cent-precision
+// dollars, 4-decimal bitcoin).
+func buildAmountModels() map[amount.Currency]amountModel {
+	out := make(map[amount.Currency]amountModel)
+	add := func(c amount.Currency, rate float64) {
+		typical := 100 / rate
+		// Grid: keep ~4 significant digits below the typical magnitude.
+		g := int(math.Floor(math.Log10(typical))) - 3
+		out[modelKey(c)] = amountModel{typical: typical, sigma: 2.3, grid: g}
+	}
+	for _, c := range []amount.Currency{
+		amount.XRP, amount.BTC, amount.USD, amount.EUR, amount.CNY,
+		amount.JPY, amount.KRW, amount.GBP, amount.AUD, amount.CCK,
+	} {
+		add(c, RateUSD(c))
+	}
+	add(amount.Currency{'*', '*', '*'}, 0.25)
+	// XRP transfers skew larger than retail payments (Fig. 5's XRP
+	// survival spans 1..1e10) — wide enough that a visible share
+	// survives Table I's 10^5 weak-currency rounding.
+	out[amount.XRP] = amountModel{typical: 20_000, sigma: 2.5, grid: 0}
+	// MTL spam uses a fixed quantum, not a distribution, but deposits in
+	// MTL never occur; keep a placeholder.
+	out[amount.MTL] = amountModel{typical: 1e9, sigma: 0.1, grid: 9}
+	return out
+}
+
+// lognormal draws exp(N(ln(median), sigma)).
+func (m amountModel) lognormal(rng *rand.Rand) float64 {
+	return m.typical * math.Exp(rng.NormFloat64()*m.sigma)
+}
+
+// p2p draws a person-to-person amount: lognormal, snapped to the
+// currency's precision grid (so values repeat occasionally but are
+// mostly distinct).
+func (m amountModel) p2p(rng *rand.Rand) amount.Value {
+	f := m.lognormal(rng)
+	v, err := amount.FromFloat64(f)
+	if err != nil {
+		return amount.FromInt64(1)
+	}
+	r := v.RoundToPow10(m.grid)
+	if r.IsZero() {
+		return amount.MustValue(1, m.grid)
+	}
+	return r
+}
+
+// deposit draws a host deposit: ~6× a typical payment, coarsely rounded
+// (people deposit round sums). Deposits deliberately sit close to
+// payment sizes so larger payments must split across a user's
+// memberships — the parallel paths of Figure 6(b).
+func (m amountModel) deposit(rng *rand.Rand) amount.Value {
+	f := m.typical * 4 * math.Exp(rng.NormFloat64()*0.5)
+	v, err := amount.FromFloat64(f)
+	if err != nil {
+		return amount.FromInt64(100)
+	}
+	// Two significant digits.
+	g := int(math.Floor(math.Log10(f))) - 1
+	r := v.RoundToPow10(g)
+	if r.IsZero() {
+		return amount.MustValue(1, g)
+	}
+	return r
+}
+
+// trustLimit returns the user→gateway trust limit for this currency:
+// comfortably above any single deposit (deposits are ~20× a typical
+// payment with a ×7 lognormal tail).
+func (m amountModel) trustLimit() amount.Value {
+	f := m.typical * 400
+	v, err := amount.FromFloat64(f)
+	if err != nil {
+		return amount.MustParse("1e6")
+	}
+	g := int(math.Floor(math.Log10(f)))
+	return v.RoundToPow10(g)
+}
+
+// price scales a merchant's USD-denominated menu price into the payment
+// currency, rounded to two significant digits so the same menu item
+// always costs the same — the repetition that weakens the amount feature
+// in the de-anonymization study.
+func price(menu amount.Value, cur amount.Currency) amount.Value {
+	f := menu.Float64() / RateUSD(cur)
+	if f <= 0 {
+		return amount.FromInt64(1)
+	}
+	v, err := amount.FromFloat64(f)
+	if err != nil {
+		return amount.FromInt64(1)
+	}
+	g := int(math.Floor(math.Log10(f))) - 1
+	r := v.RoundToPow10(g)
+	if r.IsZero() {
+		return amount.MustValue(1, g)
+	}
+	return r
+}
+
+// Discrete spam/bet menus.
+var (
+	// spinBets are the Ripple Spin gambling stakes, in XRP.
+	spinBets = []amount.Value{
+		amount.MustParse("0.5"), amount.MustParse("1"), amount.MustParse("2"),
+		amount.MustParse("5"), amount.MustParse("10"), amount.MustParse("25"),
+		amount.MustParse("50"), amount.MustParse("100"),
+	}
+	// zeroSpam are the tiny back-and-forth amounts sent to ACCOUNT_ZERO.
+	zeroSpam = []amount.Value{
+		amount.MustParse("0.000001"), amount.MustParse("0.00001"),
+		amount.MustParse("0.0001"), amount.MustParse("1"),
+	}
+	// cckMicro are the CCK micro-transaction amounts.
+	cckMicro = []amount.Value{
+		amount.MustParse("0.0001"), amount.MustParse("0.0002"),
+		amount.MustParse("0.0005"), amount.MustParse("0.001"),
+		amount.MustParse("0.002"), amount.MustParse("0.005"),
+		amount.MustParse("0.01"),
+	}
+	// mtlQuantum is the per-chain spam amount; a spam payment moves
+	// 6 × quantum across the 6 parallel chains.
+	mtlQuantum = amount.MustParse("1e9")
+	// mtlSpamAmount is 6e9: exactly six parallel paths of one quantum.
+	mtlSpamAmount = amount.MustParse("6e9")
+)

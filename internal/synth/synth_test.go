@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"testing"
+
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+)
+
+// generateSmall runs a small but full history and returns the result
+// plus all pages.
+func generateSmall(t *testing.T, payments int, seed int64) (*Result, []*ledger.Page) {
+	t.Helper()
+	var pages []*ledger.Page
+	res, err := Generate(Config{
+		Payments:       payments,
+		Seed:           seed,
+		SkipSignatures: true,
+	}, func(p *ledger.Page) error {
+		pages = append(pages, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pages
+}
+
+func TestGenerateSmokes(t *testing.T) {
+	res, pages := generateSmall(t, 4000, 1)
+	if res.Stats.PaymentsOK < 3000 {
+		t.Fatalf("payments ok = %d of %d attempts (failed %d)",
+			res.Stats.PaymentsOK, 4000, res.Stats.PaymentsFailed)
+	}
+	failRate := float64(res.Stats.PaymentsFailed) / float64(res.Stats.PaymentsOK+res.Stats.PaymentsFailed)
+	if failRate > 0.12 {
+		t.Errorf("failure rate %.3f too high", failRate)
+	}
+	if len(pages) < 100 {
+		t.Errorf("pages = %d, want many", len(pages))
+	}
+	// Chain linkage must hold across all pages.
+	for i := 1; i < len(pages); i++ {
+		if pages[i].Header.ParentHash != pages[i-1].Header.Hash() {
+			t.Fatalf("page %d parent linkage broken", i)
+		}
+		if err := pages[i].Validate(); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+	// Engine invariants hold at the end.
+	if errs := res.Engine.Graph().CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("graph invariants violated: %v (first of %d)", errs[0], len(errs))
+	}
+}
+
+func TestCurrencyMixCalibration(t *testing.T) {
+	res, _ := generateSmall(t, 6000, 2)
+	total := float64(res.Stats.PaymentsOK)
+	share := func(c amount.Currency) float64 {
+		return float64(res.Stats.ByCurrency[c]) / total
+	}
+	// XRP ≈ 49%, the dominant currency (Fig. 4).
+	if s := share(amount.XRP); s < 0.40 || s > 0.58 {
+		t.Errorf("XRP share = %.3f, want ≈0.49", s)
+	}
+	// CCK and MTL are next (spam campaigns).
+	if s := share(amount.CCK); s < 0.10 || s > 0.22 {
+		t.Errorf("CCK share = %.3f, want ≈0.16", s)
+	}
+	if s := share(amount.MTL); s < 0.08 || s > 0.20 {
+		t.Errorf("MTL share = %.3f, want ≈0.14", s)
+	}
+	// Ordering of the majors: BTC > USD > CNY > JPY > EUR.
+	if !(res.Stats.ByCurrency[amount.BTC] > res.Stats.ByCurrency[amount.JPY]) {
+		t.Errorf("BTC (%d) should outnumber JPY (%d)",
+			res.Stats.ByCurrency[amount.BTC], res.Stats.ByCurrency[amount.JPY])
+	}
+	if !(res.Stats.ByCurrency[amount.USD] > res.Stats.ByCurrency[amount.EUR]) {
+		t.Errorf("USD (%d) should outnumber EUR (%d)",
+			res.Stats.ByCurrency[amount.USD], res.Stats.ByCurrency[amount.EUR])
+	}
+}
+
+func TestMTLSpamShape(t *testing.T) {
+	_, pages := generateSmall(t, 5000, 3)
+	spam, long := 0, 0
+	for _, p := range pages {
+		for i, tx := range p.Txs {
+			if tx.Type != ledger.TxPayment || tx.Amount.Currency != amount.MTL {
+				continue
+			}
+			meta := p.Metas[i]
+			if !meta.Result.Succeeded() {
+				continue
+			}
+			if meta.MaxHops() == 44 {
+				// The Figure 6(a) long-chain oddity: single path, 44
+				// intermediaries.
+				long++
+				if got := meta.ParallelPaths(); got != 1 {
+					t.Fatalf("long-chain parallel paths = %d, want 1", got)
+				}
+				continue
+			}
+			spam++
+			if got := meta.ParallelPaths(); got != 6 {
+				t.Fatalf("MTL spam parallel paths = %d, want exactly 6", got)
+			}
+			if got := meta.MaxHops(); got != 8 {
+				t.Fatalf("MTL spam hops = %d, want exactly 8", got)
+			}
+		}
+	}
+	if spam < 300 {
+		t.Errorf("MTL spam payments = %d, want a large campaign", spam)
+	}
+	if long == 0 {
+		t.Error("no 44-hop long-chain payments observed")
+	}
+	if long*20 > spam {
+		t.Errorf("long-chain payments = %d of %d, want rare", long, spam)
+	}
+}
+
+func TestCrossCurrencyPresent(t *testing.T) {
+	res, _ := generateSmall(t, 5000, 4)
+	if res.Stats.CrossCurrency < 70 {
+		t.Errorf("cross-currency payments = %d, want a substantial share", res.Stats.CrossCurrency)
+	}
+	if res.Stats.Offers < 500 {
+		t.Errorf("offers placed = %d, want ≈0.5×payments", res.Stats.Offers)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	res1, pages1 := generateSmall(t, 1500, 7)
+	res2, pages2 := generateSmall(t, 1500, 7)
+	if res1.LastHash != res2.LastHash {
+		t.Error("same seed produced different final hashes")
+	}
+	if len(pages1) != len(pages2) {
+		t.Fatalf("page counts differ: %d vs %d", len(pages1), len(pages2))
+	}
+	res3, _ := generateSmall(t, 1500, 8)
+	if res1.LastHash == res3.LastHash {
+		t.Error("different seeds produced identical histories")
+	}
+	_ = res3
+}
+
+func TestGatewayAndUserBalanceSigns(t *testing.T) {
+	// Figure 7(c): gateways in debt (negative), most users in credit.
+	res, _ := generateSmall(t, 4000, 5)
+	g := res.Engine.Graph()
+	negGateways := 0
+	for _, gw := range res.Population.Gateways {
+		p := g.ProfileOf(gw.ID, RateEUR)
+		if p.NetBalance < 0 {
+			negGateways++
+		}
+	}
+	if negGateways < len(res.Population.Gateways)*3/4 {
+		t.Errorf("gateways with negative balance = %d/%d, want most",
+			negGateways, len(res.Population.Gateways))
+	}
+	posUsers, sampled := 0, 0
+	for i, u := range res.Population.Users {
+		if i%7 != 0 {
+			continue
+		}
+		sampled++
+		if g.ProfileOf(u.ID, RateEUR).NetBalance > 0 {
+			posUsers++
+		}
+	}
+	if posUsers < sampled/2 {
+		t.Errorf("users with positive balance = %d/%d, want most", posUsers, sampled)
+	}
+}
+
+func TestOfferConcentration(t *testing.T) {
+	// Appendix C: the top-10 market makers place ~50% of offers.
+	_, pages := generateSmall(t, 4000, 6)
+	byOwner := make(map[string]int)
+	total := 0
+	for _, p := range pages {
+		for i, tx := range p.Txs {
+			if tx.Type == ledger.TxOfferCreate && p.Metas[i].Result.Succeeded() {
+				byOwner[tx.Account.String()]++
+				total++
+			}
+		}
+	}
+	counts := make([]int, 0, len(byOwner))
+	for _, c := range byOwner {
+		counts = append(counts, c)
+	}
+	// Sort descending.
+	for i := range counts {
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[i] {
+				counts[i], counts[j] = counts[j], counts[i]
+			}
+		}
+	}
+	top10 := 0
+	for i := 0; i < 10 && i < len(counts); i++ {
+		top10 += counts[i]
+	}
+	frac := float64(top10) / float64(total)
+	if frac < 0.35 || frac > 0.75 {
+		t.Errorf("top-10 maker offer share = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestPopulationStructure(t *testing.T) {
+	res, _ := generateSmall(t, 1500, 9)
+	pop := res.Population
+	if len(pop.Gateways) != len(GatewayNames) {
+		t.Errorf("gateways = %d, want %d", len(pop.Gateways), len(GatewayNames))
+	}
+	reg := pop.Registry()
+	for _, gw := range pop.Gateways {
+		if !reg.IsGateway(gw.ID) {
+			t.Errorf("%s not marked as gateway", gw.Name)
+		}
+		if reg.Name(gw.ID) != gw.Name {
+			t.Errorf("gateway name lookup failed for %s", gw.Name)
+		}
+	}
+	if reg.IsGateway(pop.Hubs[0].ID) {
+		t.Error("hub wrongly marked as gateway")
+	}
+	if reg.Name(pop.RippleSpin.AccountID()) != "~Ripple Spin" {
+		t.Error("Ripple Spin registry name missing")
+	}
+	// Every user got funded lines.
+	for i, u := range pop.Users {
+		if len(u.Lines) == 0 {
+			t.Fatalf("user %d has no funded lines", i)
+		}
+	}
+}
+
+func TestTimestampsAdvance(t *testing.T) {
+	_, pages := generateSmall(t, 1500, 10)
+	var last ledger.CloseTime
+	for _, p := range pages {
+		if p.Header.CloseTime < last {
+			t.Fatal("close times regress")
+		}
+		last = p.Header.CloseTime
+	}
+	first := pages[0].Header.CloseTime
+	if last == first {
+		t.Error("history spans zero simulated time")
+	}
+}
+
+func TestRateTable(t *testing.T) {
+	if RateUSD(amount.USD) != 1 {
+		t.Error("USD rate must be 1")
+	}
+	if RateUSD(amount.BTC) < 100 {
+		t.Error("BTC should be a strong currency")
+	}
+	if RateEUR(amount.EUR) != 1 {
+		t.Error("EUR→EUR rate must be 1")
+	}
+	if RateUSD(amount.MustCurrency("ZQX")) <= 0 {
+		t.Error("tail currencies need a positive default rate")
+	}
+}

@@ -1,0 +1,422 @@
+// Package trustgraph implements Ripple's credit network: the backbone of
+// trust-lines over which IOU payments "ripple". For each account pair and
+// currency it tracks the two directional trust limits and the single net
+// balance between the parties, exactly the three-field record (amount,
+// currency, issuers) the paper describes.
+//
+// Payment capacity follows the paper's semantics: "if A trusts B for
+// 10USD ... IOU transactions in the opposite direction (from B to A)
+// [are limited] to 10USD". Value flowing B→A consumes A's trust in B;
+// value flowing back A→B first pays down existing debt and then consumes
+// B's trust in A.
+package trustgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+)
+
+// Pair is the credit state between two accounts in one currency. The two
+// endpoints are stored in canonical order (Lo < Hi by account ID).
+//
+//   - LimitLoHi: Lo trusts Hi — the most Hi may owe Lo.
+//   - LimitHiLo: Hi trusts Lo — the most Lo may owe Hi.
+//   - Balance:   net debt, positive when Hi owes Lo, negative when Lo
+//     owes Hi.
+type Pair struct {
+	Lo, Hi    addr.AccountID
+	Currency  amount.Currency
+	LimitLoHi amount.Value
+	LimitHiLo amount.Value
+	Balance   amount.Value
+}
+
+// edgeKey addresses a pair from one endpoint's perspective.
+type edgeKey struct {
+	peer addr.AccountID
+	cur  amount.Currency
+}
+
+// less orders edge keys deterministically: by currency, then peer.
+func (k edgeKey) less(o edgeKey) bool {
+	if k.cur != o.cur {
+		return string(k.cur[:]) < string(o.cur[:])
+	}
+	return k.peer.Less(o.peer)
+}
+
+// accountEdges keeps one account's edges both indexed and in sorted
+// order, so iteration (and therefore path finding and everything built
+// on it) is deterministic — map iteration order must never influence a
+// ledger's content.
+type accountEdges struct {
+	m    map[edgeKey]*Pair
+	keys []edgeKey // sorted by edgeKey.less
+}
+
+func (e *accountEdges) insert(k edgeKey, p *Pair) {
+	if _, exists := e.m[k]; !exists {
+		i := sort.Search(len(e.keys), func(i int) bool { return k.less(e.keys[i]) })
+		e.keys = append(e.keys, edgeKey{})
+		copy(e.keys[i+1:], e.keys[i:])
+		e.keys[i] = k
+	}
+	e.m[k] = p
+}
+
+func (e *accountEdges) remove(k edgeKey) {
+	if _, exists := e.m[k]; !exists {
+		return
+	}
+	delete(e.m, k)
+	i := sort.Search(len(e.keys), func(i int) bool { return !e.keys[i].less(k) })
+	if i < len(e.keys) && e.keys[i] == k {
+		e.keys = append(e.keys[:i], e.keys[i+1:]...)
+	}
+}
+
+// Graph is the in-memory credit network. It is not safe for concurrent
+// mutation; analyses clone it before replaying.
+type Graph struct {
+	adj map[addr.AccountID]*accountEdges
+	// pairs counts distinct trust pairs for stats.
+	pairs int
+}
+
+// New creates an empty credit network.
+func New() *Graph {
+	return &Graph{adj: make(map[addr.AccountID]*accountEdges)}
+}
+
+// canonical orders two accounts.
+func canonical(a, b addr.AccountID) (lo, hi addr.AccountID, swapped bool) {
+	if b.Less(a) {
+		return b, a, true
+	}
+	return a, b, false
+}
+
+func (g *Graph) edge(a addr.AccountID, k edgeKey) (*Pair, bool) {
+	e, ok := g.adj[a]
+	if !ok {
+		return nil, false
+	}
+	p, ok := e.m[k]
+	return p, ok
+}
+
+func (g *Graph) link(a addr.AccountID, k edgeKey, p *Pair) {
+	e, ok := g.adj[a]
+	if !ok {
+		e = &accountEdges{m: make(map[edgeKey]*Pair)}
+		g.adj[a] = e
+	}
+	e.insert(k, p)
+}
+
+// pair returns the Pair for (a, b, cur), creating it when create is set.
+func (g *Graph) pair(a, b addr.AccountID, cur amount.Currency, create bool) *Pair {
+	p, ok := g.edge(a, edgeKey{peer: b, cur: cur})
+	if ok {
+		return p
+	}
+	if !create {
+		return nil
+	}
+	lo, hi, _ := canonical(a, b)
+	p = &Pair{Lo: lo, Hi: hi, Currency: cur}
+	g.link(a, edgeKey{peer: b, cur: cur}, p)
+	g.link(b, edgeKey{peer: a, cur: cur}, p)
+	g.pairs++
+	return p
+}
+
+// SetTrust declares that truster extends credit of up to limit to trustee
+// in the given currency — the effect of a TrustSet transaction. A zero
+// limit removes the trust in that direction (the pair survives while the
+// other direction or a balance remains).
+func (g *Graph) SetTrust(truster, trustee addr.AccountID, cur amount.Currency, limit amount.Value) error {
+	if cur.IsXRP() {
+		return fmt.Errorf("trustgraph: XRP needs no trust-lines")
+	}
+	if truster == trustee {
+		return fmt.Errorf("trustgraph: account cannot trust itself")
+	}
+	if limit.IsNegative() {
+		return fmt.Errorf("trustgraph: negative trust limit %s", limit)
+	}
+	p := g.pair(truster, trustee, cur, true)
+	if p.Lo == truster {
+		p.LimitLoHi = limit
+	} else {
+		p.LimitHiLo = limit
+	}
+	return nil
+}
+
+// Trust returns the limit truster currently extends to trustee.
+func (g *Graph) Trust(truster, trustee addr.AccountID, cur amount.Currency) amount.Value {
+	p := g.pair(truster, trustee, cur, false)
+	if p == nil {
+		return amount.Zero
+	}
+	if p.Lo == truster {
+		return p.LimitLoHi
+	}
+	return p.LimitHiLo
+}
+
+// Owed returns how much debtor currently owes creditor (zero or positive;
+// debt in the other direction reports zero).
+func (g *Graph) Owed(creditor, debtor addr.AccountID, cur amount.Currency) amount.Value {
+	p := g.pair(creditor, debtor, cur, false)
+	if p == nil {
+		return amount.Zero
+	}
+	bal := p.Balance // positive: Hi owes Lo
+	if p.Lo != creditor {
+		bal = bal.Neg()
+	}
+	if bal.IsNegative() {
+		return amount.Zero
+	}
+	return bal
+}
+
+// Capacity returns the maximum value that can flow from → to across the
+// direct edge in the given currency: existing debt owed to `from` by `to`
+// being paid down, plus fresh credit `to` extends to `from`.
+func (g *Graph) Capacity(from, to addr.AccountID, cur amount.Currency) amount.Value {
+	p := g.pair(from, to, cur, false)
+	if p == nil {
+		return amount.Zero
+	}
+	return pairCapacity(p, from)
+}
+
+// pairCapacity computes capacity for value flowing out of `from` across p.
+func pairCapacity(p *Pair, from addr.AccountID) amount.Value {
+	// Value flowing Lo→Hi decreases Balance; floor is -LimitHiLo.
+	// capacity(Lo→Hi) = Balance + LimitHiLo
+	// capacity(Hi→Lo) = LimitLoHi - Balance
+	var c amount.Value
+	var err error
+	if p.Lo == from {
+		c, err = p.Balance.Add(p.LimitHiLo)
+	} else {
+		c, err = p.LimitLoHi.Sub(p.Balance)
+	}
+	if err != nil || c.IsNegative() {
+		return amount.Zero
+	}
+	return c
+}
+
+// ApplyFlow moves v of value from → to across the direct edge, consuming
+// capacity. It fails, leaving the graph unchanged, if v exceeds the
+// available capacity or the edge does not exist.
+func (g *Graph) ApplyFlow(from, to addr.AccountID, cur amount.Currency, v amount.Value) error {
+	if v.IsNegative() || v.IsZero() {
+		return fmt.Errorf("trustgraph: flow must be positive, got %s", v)
+	}
+	p := g.pair(from, to, cur, false)
+	if p == nil {
+		return fmt.Errorf("trustgraph: no trust between %s and %s in %s", from.Short(), to.Short(), cur)
+	}
+	if pairCapacity(p, from).Cmp(v) < 0 {
+		return fmt.Errorf("trustgraph: flow %s exceeds capacity %s on %s→%s/%s",
+			v, pairCapacity(p, from), from.Short(), to.Short(), cur)
+	}
+	var nb amount.Value
+	var err error
+	if p.Lo == from {
+		nb, err = p.Balance.Sub(v)
+	} else {
+		nb, err = p.Balance.Add(v)
+	}
+	if err != nil {
+		return fmt.Errorf("trustgraph: applying flow: %w", err)
+	}
+	p.Balance = nb
+	return nil
+}
+
+// Neighbors calls fn for every peer that shares a trust pair with account
+// in the given currency, together with the current capacity for value
+// flowing account→peer. Iteration order is deterministic (sorted by
+// peer): payment routing must not depend on map iteration order.
+func (g *Graph) Neighbors(account addr.AccountID, cur amount.Currency, fn func(peer addr.AccountID, capacity amount.Value)) {
+	e, ok := g.adj[account]
+	if !ok {
+		return
+	}
+	// Keys are sorted by (currency, peer): binary-search the currency's
+	// contiguous block.
+	start := sort.Search(len(e.keys), func(i int) bool {
+		return string(e.keys[i].cur[:]) >= string(cur[:])
+	})
+	for i := start; i < len(e.keys) && e.keys[i].cur == cur; i++ {
+		k := e.keys[i]
+		fn(k.peer, pairCapacity(e.m[k], account))
+	}
+}
+
+// Currencies calls fn for each currency in which account has any pair,
+// in sorted order.
+func (g *Graph) Currencies(account addr.AccountID, fn func(cur amount.Currency)) {
+	e, ok := g.adj[account]
+	if !ok {
+		return
+	}
+	var last amount.Currency
+	first := true
+	for _, k := range e.keys {
+		if first || k.cur != last {
+			fn(k.cur)
+			last = k.cur
+			first = false
+		}
+	}
+}
+
+// Pairs calls fn once per distinct trust pair in the graph. Iteration
+// order is unspecified (callers aggregate).
+func (g *Graph) Pairs(fn func(*Pair)) {
+	seen := make(map[*Pair]bool, g.pairs)
+	for _, edges := range g.adj {
+		for _, p := range edges.m {
+			if !seen[p] {
+				seen[p] = true
+				fn(p)
+			}
+		}
+	}
+}
+
+// NumPairs returns the number of distinct (pair, currency) trust records.
+func (g *Graph) NumPairs() int { return g.pairs }
+
+// NumAccounts returns the number of accounts with at least one pair.
+func (g *Graph) NumAccounts() int { return len(g.adj) }
+
+// HasAccount reports whether the account participates in any trust pair.
+func (g *Graph) HasAccount(a addr.AccountID) bool {
+	e, ok := g.adj[a]
+	return ok && len(e.m) > 0
+}
+
+// RemoveAccount deletes an account and every trust pair it participates
+// in — the mutation behind the paper's market-maker ablation (Table II).
+func (g *Graph) RemoveAccount(a addr.AccountID) {
+	e, ok := g.adj[a]
+	if !ok {
+		return
+	}
+	for _, k := range append([]edgeKey(nil), e.keys...) {
+		if peerEdges, ok := g.adj[k.peer]; ok {
+			peerEdges.remove(edgeKey{peer: a, cur: k.cur})
+			if len(peerEdges.m) == 0 {
+				delete(g.adj, k.peer)
+			}
+		}
+		g.pairs--
+	}
+	delete(g.adj, a)
+}
+
+// Clone returns a deep copy of the graph, for replay experiments.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	out.pairs = g.pairs
+	copies := make(map[*Pair]*Pair, g.pairs)
+	for acct, edges := range g.adj {
+		ne := &accountEdges{
+			m:    make(map[edgeKey]*Pair, len(edges.m)),
+			keys: append([]edgeKey(nil), edges.keys...),
+		}
+		for k, p := range edges.m {
+			cp, ok := copies[p]
+			if !ok {
+				dup := *p
+				cp = &dup
+				copies[p] = cp
+			}
+			ne.m[k] = cp
+		}
+		out.adj[acct] = ne
+	}
+	return out
+}
+
+// CheckInvariants verifies every pair's balance lies within its limits,
+// returning the list of violations (empty when healthy). Limit
+// *reductions* below an existing balance are legal in Ripple, so callers
+// decide whether violations are fatal.
+func (g *Graph) CheckInvariants() []error {
+	var errs []error
+	g.Pairs(func(p *Pair) {
+		if p.Balance.Cmp(p.LimitLoHi) > 0 {
+			errs = append(errs, fmt.Errorf("trustgraph: %s owes %s %s/%s above limit %s",
+				p.Hi.Short(), p.Lo.Short(), p.Balance, p.Currency, p.LimitLoHi))
+		}
+		if p.Balance.Neg().Cmp(p.LimitHiLo) > 0 {
+			errs = append(errs, fmt.Errorf("trustgraph: %s owes %s %s/%s above limit %s",
+				p.Lo.Short(), p.Hi.Short(), p.Balance.Neg(), p.Currency, p.LimitHiLo))
+		}
+	})
+	return errs
+}
+
+// Profile aggregates one account's standing in the network, the data
+// behind Figure 7(b) and 7(c). Sums are computed in a reference currency
+// using the supplied conversion rate function (units of reference
+// currency per one unit of cur); rate may return 0 to skip a currency.
+type Profile struct {
+	// TrustReceived is the total credit other accounts extend to this
+	// account (positive trust in Fig. 7(b)).
+	TrustReceived float64
+	// TrustGiven is the total credit this account extends to others
+	// (negative trust in Fig. 7(b)).
+	TrustGiven float64
+	// NetBalance is credit minus debt: positive for accounts owed value
+	// (common users), negative for debtors (gateways) — Fig. 7(c).
+	NetBalance float64
+	// Lines counts the account's trust pairs.
+	Lines int
+}
+
+// ProfileOf computes the aggregate standing of account under rates.
+func (g *Graph) ProfileOf(account addr.AccountID, rate func(amount.Currency) float64) Profile {
+	var pr Profile
+	e, ok := g.adj[account]
+	if !ok {
+		return pr
+	}
+	// Iterate in sorted key order: float accumulation must be
+	// deterministic so profiles compare equal across replays.
+	for _, k := range e.keys {
+		p := e.m[k]
+		r := rate(k.cur)
+		if r == 0 {
+			continue
+		}
+		pr.Lines++
+		var limitIn, limitOut, bal amount.Value
+		if p.Lo == account {
+			limitOut = p.LimitLoHi // account trusts peer
+			limitIn = p.LimitHiLo  // peer trusts account
+			bal = p.Balance        // positive: peer owes account
+		} else {
+			limitOut = p.LimitHiLo
+			limitIn = p.LimitLoHi
+			bal = p.Balance.Neg()
+		}
+		pr.TrustGiven += limitOut.Float64() * r
+		pr.TrustReceived += limitIn.Float64() * r
+		pr.NetBalance += bal.Float64() * r
+	}
+	return pr
+}
