@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Data-race check over the concurrent stream/collection path.
+race:
+	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/...
+
+# Short chaos pass: fault injection, resilience, and the degraded-stream
+# integration test.
+chaos:
+	$(GO) test -run 'Fault|Chaos|Resilient|Stalled|Corrupt|Inject|Malformed|Health|BadFrames|Truncat|BitFlip' ./internal/...
+
+check: vet build test race chaos

@@ -6,14 +6,21 @@
 //	consensus-monitor -connect 127.0.0.1:5006 -label "December 2015"
 //
 // The monitor reads until the stream closes (the simulator finished its
-// period) or -max-events is reached.
+// period) or -max-events is reached. It survives a degraded stream: the
+// resilient client reconnects with backoff, resumes from the last seen
+// sequence number, skips corrupt frames, and the collector skips
+// malformed events. The final collection-health report says whether the
+// run was lossless.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ripplestudy/internal/consensus"
 	"ripplestudy/internal/monitor"
@@ -25,44 +32,54 @@ func main() {
 	label := flag.String("label", "collection period", "period label for the report")
 	maxEvents := flag.Int("max-events", 0, "stop after this many events (0 = until stream ends)")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	retries := flag.Int("retries", 8, "consecutive connection failures before giving up")
+	stall := flag.Duration("stall", 30*time.Second, "reconnect if no event arrives for this long (0 = never)")
 	flag.Parse()
 
-	if err := run(*connect, *label, *maxEvents, *asJSON); err != nil {
+	if err := run(*connect, *label, *maxEvents, *asJSON, *retries, *stall); err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-monitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(connect, label string, maxEvents int, asJSON bool) error {
-	client, err := netstream.Dial(connect)
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-	fmt.Printf("consensus-monitor: collecting from %s\n", connect)
+func run(connect, label string, maxEvents int, asJSON bool, retries int, stall time.Duration) error {
+	client := netstream.NewResilientClient(connect, netstream.ResilientOptions{
+		MaxConsecutiveFailures: retries,
+		StallTimeout:           stall,
+	})
+	fmt.Fprintf(os.Stderr, "consensus-monitor: collecting from %s\n", connect)
 
 	col := monitor.NewCollector()
-	err = client.Events(func(ev consensus.Event) error {
+	err := client.Run(context.Background(), func(ev consensus.Event) error {
 		col.Record(ev)
 		if maxEvents > 0 && col.Events() >= maxEvents {
 			return netstream.ErrStop
 		}
 		return nil
 	})
-	if err != nil {
+	// A server that finishes its period and exits looks like exhausted
+	// retries; the collection up to that point is still the result. But
+	// if we never connected at all there is no collection to report.
+	if err != nil && (!errors.Is(err, netstream.ErrUnavailable) || client.Stats().Connects == 0) {
 		return err
 	}
-	fmt.Printf("consensus-monitor: %d events collected\n\n", col.Events())
+	health := monitor.Health(client.Stats(), col)
+	fmt.Fprintf(os.Stderr, "consensus-monitor: %d events collected\n\n", col.Events())
 	rep := col.Report(label)
 	if asJSON {
+		out := struct {
+			Report monitor.Report           `json:"report"`
+			Health monitor.CollectionHealth `json:"health"`
+		}{rep, health}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		return enc.Encode(out)
 	}
 	if err := rep.WriteTable(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Printf("\nsummary: %d validators observed, %d active (≥50%% of busiest), %d with zero valid pages\n",
 		len(rep.Validators), rep.ActiveCount(0.5), rep.ZeroValidCount())
-	return nil
+	fmt.Println()
+	return health.WriteReport(os.Stdout)
 }

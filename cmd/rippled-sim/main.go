@@ -7,12 +7,17 @@
 //
 // Connect cmd/consensus-monitor to the same address to reproduce the
 // §IV data collection.
+//
+// The -fault-* flags degrade the served stream (corrupted, truncated,
+// and dropped connections) to exercise the monitor's recovery path;
+// see "Failure modes and recovery" in the README.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	stdnet "net"
 	"os"
 	"strings"
 	"time"
@@ -20,6 +25,7 @@ import (
 	"ripplestudy/internal/addr"
 	"ripplestudy/internal/amount"
 	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/faultnet"
 	"ripplestudy/internal/ledger"
 	"ripplestudy/internal/netstream"
 )
@@ -32,9 +38,21 @@ func main() {
 	delay := flag.Duration("delay", 0, "real-time delay per round (0 = as fast as possible)")
 	wait := flag.Duration("wait", 2*time.Second, "time to wait for subscribers before starting")
 	tps := flag.Float64("tps", 0.5, "synthetic XRP payments per simulated second fed through consensus")
+	faultDrop := flag.Float64("fault-drop", 0, "probability per write of killing the connection mid-line")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability per write of flipping one bit")
+	faultTruncate := flag.Float64("fault-truncate", 0, "probability per write of truncating the write")
+	faultLatency := flag.Duration("fault-latency", 0, "added latency per write")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for fault injection")
 	flag.Parse()
 
-	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps); err != nil {
+	fcfg := faultnet.Config{
+		Seed:         *faultSeed,
+		CorruptRate:  *faultCorrupt,
+		DropRate:     *faultDrop,
+		TruncateRate: *faultTruncate,
+		Latency:      *faultLatency,
+	}
+	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps, fcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippled-sim:", err)
 		os.Exit(1)
 	}
@@ -53,18 +71,31 @@ func periodSpec(name string, rounds int) (consensus.PeriodSpec, error) {
 	}
 }
 
-func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64) error {
+func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64, fcfg faultnet.Config) error {
 	spec, err := periodSpec(period, rounds)
 	if err != nil {
 		return err
 	}
-	srv, err := netstream.Serve(listen)
+	injecting := fcfg.CorruptRate > 0 || fcfg.DropRate > 0 || fcfg.TruncateRate > 0 || fcfg.Latency > 0
+	var fln *faultnet.Listener
+	var opts []netstream.Option
+	if injecting {
+		opts = append(opts, netstream.WithListenerWrapper(func(ln stdnet.Listener) stdnet.Listener {
+			fln = faultnet.Wrap(ln, fcfg)
+			return fln
+		}))
+	}
+	srv, err := netstream.Serve(listen, opts...)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("rippled-sim: serving validation stream on %s (%s, %d rounds, %d validators)\n",
 		srv.Addr(), spec.Name, rounds, len(spec.Specs))
+	if injecting {
+		fmt.Printf("rippled-sim: fault injection on (corrupt=%.2f drop=%.2f truncate=%.2f latency=%s seed=%d)\n",
+			fcfg.CorruptRate, fcfg.DropRate, fcfg.TruncateRate, fcfg.Latency, fcfg.Seed)
+	}
 
 	// Give monitors a moment to connect before history starts flowing.
 	deadline := time.Now().Add(wait)
@@ -118,7 +149,18 @@ func run(listen, period string, rounds int, seed int64, delay, wait time.Duratio
 	}
 	srv.Flush()
 	fmt.Printf("rippled-sim: done, %d main-chain pages closed\n", net.Chain().Len())
-	// Leave the stream open briefly so slow consumers drain.
-	time.Sleep(500 * time.Millisecond)
+	// Leave the stream open briefly so slow consumers drain (and, when
+	// injecting faults, reconnect and replay the tail).
+	drain := 500 * time.Millisecond
+	if injecting {
+		drain = 3 * time.Second
+	}
+	time.Sleep(drain)
+	st := srv.Stats()
+	fmt.Printf("rippled-sim: stream stats: published=%d replayed=%d dropped=%d evicted=%d served=%d\n",
+		st.Published, st.Replayed, st.Dropped, st.Evicted, st.Served)
+	if fln != nil {
+		fmt.Printf("rippled-sim: injected faults: %s\n", fln.Stats())
+	}
 	return nil
 }

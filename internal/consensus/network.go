@@ -60,6 +60,11 @@ const (
 // paper's collection server subscribed to.
 type Event struct {
 	Kind EventKind `json:"kind"`
+	// StreamSeq is the event's position in the emitting network's
+	// stream, assigned monotonically from 1. It lets collectors detect
+	// gaps, deduplicate replays after a reconnect, and resume a broken
+	// subscription from the last event they saw.
+	StreamSeq uint64 `json:"stream_seq,omitempty"`
 	// Seq is the ledger sequence the event refers to.
 	Seq uint64 `json:"seq"`
 	// LedgerHash is the page hash signed (validations) or committed
@@ -100,6 +105,7 @@ type Network struct {
 	round int
 	now   time.Time
 
+	streamSeq   uint64
 	subscribers []func(Event)
 }
 
@@ -153,10 +159,16 @@ func (n *Network) Now() time.Time { return n.now }
 func (n *Network) Subscribe(fn func(Event)) { n.subscribers = append(n.subscribers, fn) }
 
 func (n *Network) emit(ev Event) {
+	n.streamSeq++
+	ev.StreamSeq = n.streamSeq
 	for _, fn := range n.subscribers {
 		fn(ev)
 	}
 }
+
+// EventsEmitted returns the stream sequence number of the last emitted
+// event (the total number of events the network has published).
+func (n *Network) EventsEmitted() uint64 { return n.streamSeq }
 
 // Disable takes validators down (hijack or DoS): they stop proposing and
 // signing, but remain on the trusted lists and keep counting against the

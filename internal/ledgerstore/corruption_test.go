@@ -1,0 +1,130 @@
+package ledgerstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripplestudy/internal/faultnet"
+	"ripplestudy/internal/ledger"
+)
+
+// buildStore writes n chained empty pages and returns the store dir and
+// its segment files.
+func buildStore(t *testing.T, n int, segmentBytes int64) (string, []string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Create(dir, WithSegmentBytes(segmentBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev ledger.Hash
+	for i := 1; i <= n; i++ {
+		page := &ledger.Page{
+			Header: ledger.PageHeader{
+				Sequence:   uint64(i),
+				ParentHash: prev,
+				TxSetHash:  ledger.TxSetHash(nil),
+				CloseTime:  ledger.CloseTime(i),
+			},
+		}
+		prev = page.Header.Hash()
+		if err := s.Append(page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments written")
+	}
+	return dir, segs
+}
+
+// TestVerifyIntegrityTruncatedTail: a mid-write crash leaves a partial
+// final record; the store must tolerate it, reporting the intact
+// prefix (DESIGN §6's truncated-store failure injection).
+func TestVerifyIntegrityTruncatedTail(t *testing.T) {
+	const pages = 30
+	dir, segs := buildStore(t, pages, 512)
+	if err := faultnet.TruncateTail(segs[len(segs)-1], 7); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, WithSegmentBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.VerifyIntegrity()
+	if err != nil {
+		t.Fatalf("VerifyIntegrity after truncation: %v", err)
+	}
+	if rep.Pages != pages-1 {
+		t.Errorf("Pages = %d, want %d (final record truncated away)", rep.Pages, pages-1)
+	}
+	if !rep.ChainOK || rep.PageErrors != 0 {
+		t.Errorf("intact prefix misreported: %+v", rep)
+	}
+}
+
+// TestVerifyIntegritySingleBitFlip: one flipped payload bit must
+// surface as ErrCorrupted — CRC-32 detects every single-bit error.
+func TestVerifyIntegritySingleBitFlip(t *testing.T) {
+	dir, segs := buildStore(t, 10, DefaultSegmentBytes)
+	// Corrupt the middle of the first record's payload.
+	head, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadLen := binary.BigEndian.Uint32(head[:4])
+	if err := faultnet.FlipBitAt(segs[0], 4+int64(payloadLen)/2, 5); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.VerifyIntegrity(); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("VerifyIntegrity = %v, want ErrCorrupted", err)
+	}
+}
+
+// TestVerifyIntegrityRandomBitFlipsNeverSilent sweeps deterministic
+// random single-bit corruptions (any position: length prefix, payload,
+// or checksum) and requires each to be detected — either an explicit
+// ErrCorrupted or a shortened, still-consistent page sequence (when the
+// flip truncates framing). A full page count with no error would mean
+// silently accepted corruption.
+func TestVerifyIntegrityRandomBitFlipsNeverSilent(t *testing.T) {
+	const pages = 20
+	for seed := int64(1); seed <= 25; seed++ {
+		dir, segs := buildStore(t, pages, 1024)
+		target := segs[int(seed)%len(segs)]
+		off, bit, err := faultnet.FlipRandomBit(target, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, WithSegmentBytes(1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.VerifyIntegrity()
+		if err != nil {
+			if !errors.Is(err, ErrCorrupted) {
+				t.Errorf("seed %d (flip %s@%d bit %d): unexpected error class: %v",
+					seed, filepath.Base(target), off, bit, err)
+			}
+			continue
+		}
+		if rep.Pages >= pages {
+			t.Errorf("seed %d (flip %s@%d bit %d): corruption went unnoticed: %+v",
+				seed, filepath.Base(target), off, bit, rep)
+		}
+	}
+}

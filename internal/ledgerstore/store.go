@@ -35,6 +35,11 @@ const (
 
 	// DefaultSegmentBytes is the rollover threshold for segment files.
 	DefaultSegmentBytes = 8 << 20
+
+	// maxRecordBytes bounds a single record's claimed payload length.
+	// A corrupted length prefix must surface as ErrCorrupted, not as a
+	// multi-gigabyte allocation.
+	maxRecordBytes = 1 << 26
 )
 
 // ErrCorrupted is returned when a record's checksum does not match.
@@ -217,6 +222,9 @@ func streamSegment(path string, fn func(*ledger.Page) error) error {
 			return fmt.Errorf("ledgerstore: reading %s: %w", path, err)
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxRecordBytes {
+			return fmt.Errorf("%w: record claims %d bytes in %s", ErrCorrupted, n, path)
+		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
 		}

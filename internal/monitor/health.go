@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+
+	"ripplestudy/internal/netstream"
+)
+
+// CollectionHealth reports how much the transport degraded during a
+// collection period — the §IV measurement is only as trustworthy as
+// the stream it was collected from, so every run surfaces this
+// alongside the Figure 2 table.
+type CollectionHealth struct {
+	// Connects/Reconnects count stream connections; any value of
+	// Reconnects above zero means the collection survived disconnects.
+	Connects   int
+	Reconnects int
+	// Gaps counts detected sequence discontinuities; each triggered a
+	// repair replay from the server.
+	Gaps int
+	// Missed counts events confirmed lost (the replay ring had already
+	// evicted them). Nonzero Missed means the report may undercount.
+	Missed uint64
+	// Duplicates counts replayed events skipped by sequence dedup.
+	Duplicates uint64
+	// BadFrames counts corrupted or truncated wire frames skipped.
+	BadFrames uint64
+	// Malformed counts decoded events the Collector rejected.
+	Malformed int
+	// Events counts well-formed events recorded.
+	Events int
+}
+
+// Health combines a resilient client's transport counters with a
+// collector's acceptance counters.
+func Health(cs netstream.ClientStats, col *Collector) CollectionHealth {
+	return CollectionHealth{
+		Connects:   cs.Connects,
+		Reconnects: cs.Reconnects,
+		Gaps:       cs.Gaps,
+		Missed:     cs.Missed,
+		Duplicates: cs.Duplicates,
+		BadFrames:  cs.BadFrames,
+		Malformed:  col.Malformed(),
+		Events:     col.Events(),
+	}
+}
+
+// Complete reports whether the collection, despite any faults it
+// survived, lost no events: every published event was either delivered
+// first-hand or recovered through a repair replay.
+func (h CollectionHealth) Complete() bool {
+	return h.Missed == 0 && h.Malformed == 0
+}
+
+func (h CollectionHealth) String() string {
+	verdict := "complete"
+	if !h.Complete() {
+		verdict = "lossy"
+	}
+	return fmt.Sprintf(
+		"events=%d reconnects=%d gaps=%d missed=%d duplicates=%d bad_frames=%d malformed=%d (%s)",
+		h.Events, h.Reconnects, h.Gaps, h.Missed, h.Duplicates, h.BadFrames, h.Malformed, verdict)
+}
+
+// WriteReport renders the health block that accompanies a Figure 2
+// table.
+func (h CollectionHealth) WriteReport(w io.Writer) error {
+	rows := []struct {
+		name  string
+		value any
+	}{
+		{"events recorded", h.Events},
+		{"connections", h.Connects},
+		{"reconnects", h.Reconnects},
+		{"sequence gaps repaired", h.Gaps},
+		{"events lost for good", h.Missed},
+		{"duplicates deduplicated", h.Duplicates},
+		{"bad frames skipped", h.BadFrames},
+		{"malformed events skipped", h.Malformed},
+	}
+	if _, err := fmt.Fprintln(w, "Collection health"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "  %-26s %v\n", r.name, r.value); err != nil {
+			return err
+		}
+	}
+	verdict := "collection complete: report covers every published event"
+	if !h.Complete() {
+		verdict = "collection lossy: the report may undercount"
+	}
+	_, err := fmt.Fprintf(w, "  %s\n", verdict)
+	return err
+}

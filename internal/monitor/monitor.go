@@ -26,6 +26,7 @@ type Collector struct {
 	sigOK       map[addr.NodeID]int
 	sigBad      map[addr.NodeID]int
 	events      int
+	malformed   int
 }
 
 // NewCollector creates an empty collector.
@@ -44,11 +45,19 @@ func NewCollector() *Collector {
 // paper.
 func (c *Collector) SetLabel(node addr.NodeID, label string) { c.labels[node] = label }
 
-// Record processes one stream event.
+// Record processes one stream event. Malformed events — an unknown
+// kind, a zero page hash, or a validation without a signer — are
+// counted and skipped rather than poisoning the collection: over a
+// two-week window the stream will deliver garbage eventually, and one
+// bad event must not abort or skew the whole period.
 func (c *Collector) Record(ev consensus.Event) {
-	c.events++
 	switch ev.Kind {
 	case consensus.EventValidation:
+		if ev.LedgerHash.IsZero() || ev.Node == (addr.NodeID{}) {
+			c.malformed++
+			return
+		}
+		c.events++
 		c.validations[ev.Node] = append(c.validations[ev.Node], ev.LedgerHash)
 		if len(ev.Signature) > 0 {
 			if addr.Verify(ev.Node.PublicKey(), ev.LedgerHash[:], ev.Signature) {
@@ -58,12 +67,22 @@ func (c *Collector) Record(ev consensus.Event) {
 			}
 		}
 	case consensus.EventLedgerClosed:
+		if ev.LedgerHash.IsZero() {
+			c.malformed++
+			return
+		}
+		c.events++
 		c.validPages[ev.LedgerHash] = true
+	default:
+		c.malformed++
 	}
 }
 
-// Events returns the number of events recorded.
+// Events returns the number of well-formed events recorded.
 func (c *Collector) Events() int { return c.events }
+
+// Malformed returns how many events Record skipped as malformed.
+func (c *Collector) Malformed() int { return c.malformed }
 
 // ValidatorStats is one bar pair of Figure 2: the pages a validator
 // signed in the window and how many of those ended up in the main
