@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos check
+.PHONY: all build vet test race chaos bench check
 
 all: check
 
@@ -13,9 +13,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# Data-race check over the concurrent stream/collection path.
+# Data-race check over the concurrent paths: stream/collection plus the
+# sharded de-anonymization pipeline (PagesParallel + ParallelStudy).
 race:
-	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/...
+	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/...
+
+# Perf trajectory: run the Figure 3 pipeline and store benchmarks with
+# allocation stats and archive them as JSON so future PRs can diff
+# payments/s, ns/op, and B/op against this one.
+bench:
+	$(GO) test -run '^$$' -bench 'Figure3|Fig3Deanon|Store' -benchmem . | tee bench.out
+	$(GO) test -run '^$$' -bench 'PagesParallel' -benchmem ./internal/ledgerstore | tee -a bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_deanon.json
+	@echo "wrote BENCH_deanon.json"
 
 # Short chaos pass: fault injection, resilience, and the degraded-stream
 # integration test.

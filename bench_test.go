@@ -10,7 +10,10 @@
 package ripplestudy_test
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -110,6 +113,139 @@ func BenchmarkFig3Deanon(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchPayments), "payments/op")
+}
+
+// baselineFingerprint is the pre-optimization fingerprint path — a
+// fresh hash.Hash and a fresh Table I rounding per (payment,
+// resolution) pair — kept as the performance baseline BenchmarkFigure3
+// measures the sharded pipeline against.
+func baselineFingerprint(f deanon.Features, res deanon.Resolution) deanon.Fingerprint {
+	h := fnv.New64a()
+	var buf [16]byte
+	if res.Amount != deanon.AmountOff {
+		v := deanon.RoundAmount(f.Amount, f.Currency, res.Amount)
+		e := uint64(int64(v.Exponent()))
+		s := uint64(0)
+		if v.IsNegative() {
+			s = 1
+		}
+		binary.BigEndian.PutUint64(buf[:8], v.Mantissa())
+		binary.BigEndian.PutUint64(buf[8:16], e<<1|s)
+		h.Write([]byte{'A'})
+		h.Write(buf[:])
+	}
+	if res.Time != deanon.TimeOff {
+		binary.BigEndian.PutUint64(buf[:8], uint64(deanon.CoarsenTime(f.Time, res.Time)))
+		h.Write([]byte{'T'})
+		h.Write(buf[:8])
+	}
+	if res.Currency {
+		h.Write([]byte{'C'})
+		h.Write(f.Currency[:])
+	}
+	if res.Destination {
+		h.Write([]byte{'D'})
+		h.Write(f.Destination[:])
+	}
+	return deanon.Fingerprint(h.Sum64())
+}
+
+// benchFeatures extracts the payment features of the shared history.
+func benchFeatures(b *testing.B) []deanon.Features {
+	b.Helper()
+	pages, _ := history(b)
+	var feats []deanon.Features
+	for _, p := range pages {
+		for j := range p.Txs {
+			if f, ok := deanon.FromTransaction(p, p.Txs[j], p.Metas[j]); ok {
+				feats = append(feats, f)
+			}
+		}
+	}
+	return feats
+}
+
+// BenchmarkFigure3 is the headline pipeline benchmark: the full ten-row
+// Figure 3 information-gain computation over one payment stream.
+//
+//	baseline    pre-optimization path: hash.Hash + rounding per pair
+//	sequential  zero-alloc Study (inline FNV, features encoded once)
+//	parallel    sharded ParallelStudy, GOMAXPROCS feeders
+//
+// Every variant recomputes the complete study per iteration; the
+// payments/s metric is the domain throughput of one full Figure 3 run.
+func BenchmarkFigure3(b *testing.B) {
+	feats := benchFeatures(b)
+	check := func(b *testing.B, rows []deanon.RowResult) {
+		b.Helper()
+		if rows[0].IG < 0.9 {
+			b.Fatalf("IG collapsed: %v", rows[0].IG)
+		}
+	}
+	reportThroughput := func(b *testing.B) {
+		b.ReportMetric(float64(len(feats))*float64(b.N)/b.Elapsed().Seconds(), "payments/s")
+	}
+
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			counts := make([]map[deanon.Fingerprint]uint32, len(deanon.Figure3Rows))
+			for r := range counts {
+				counts[r] = make(map[deanon.Fingerprint]uint32)
+			}
+			for _, f := range feats {
+				for r, res := range deanon.Figure3Rows {
+					counts[r][baselineFingerprint(f, res)]++
+				}
+			}
+			rows := make([]deanon.RowResult, len(deanon.Figure3Rows))
+			for r := range counts {
+				for _, c := range counts[r] {
+					if c == 1 {
+						rows[r].Unique++
+					}
+				}
+				rows[r].IG = float64(rows[r].Unique) / float64(len(feats))
+			}
+			check(b, rows)
+		}
+		reportThroughput(b)
+	})
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			study := deanon.NewStudy(deanon.Figure3Rows)
+			for _, f := range feats {
+				study.Observe(f)
+			}
+			check(b, study.Results())
+		}
+		reportThroughput(b)
+	})
+
+	b.Run("parallel", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		shardBits := 0
+		for 1<<shardBits < workers {
+			shardBits++
+		}
+		for i := 0; i < b.N; i++ {
+			study := deanon.NewParallelStudy(deanon.Figure3Rows, shardBits)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				fd := study.Feeder()
+				wg.Add(1)
+				go func(w int, fd *deanon.Feeder) {
+					defer wg.Done()
+					for j := w; j < len(feats); j += workers {
+						fd.Observe(feats[j])
+					}
+				}(w, fd)
+			}
+			wg.Wait()
+			check(b, study.Results())
+		}
+		reportThroughput(b)
+	})
 }
 
 // BenchmarkFig4to6Analysis regenerates Figures 4, 5, and 6: the

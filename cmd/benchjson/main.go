@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON benchmark record, so CI can archive a perf
+// trajectory across PRs:
+//
+//	go test -run '^$' -bench Figure3 -benchmem . | benchjson > BENCH_deanon.json
+//
+// Each benchmark line becomes an entry keyed by benchmark name with its
+// iteration count and every reported metric (ns/op, B/op, allocs/op,
+// and custom metrics like payments/s) as a unit→value map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the archived document.
+type Output struct {
+	// Context lines: the goos/goarch/pkg/cpu header go test prints.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Entry           `json:"benchmarks"`
+}
+
+func main() {
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Output, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := &Output{Context: map[string]string{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			e, ok := parseBenchLine(line)
+			if ok {
+				out.Benchmarks = append(out.Benchmarks, e)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				out.Context[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFigure3/parallel-8  92  12812383 ns/op  1523 B/op  4 allocs/op  936578 payments/s
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}

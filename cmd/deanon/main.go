@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,15 +26,16 @@ func main() {
 	storeDir := flag.String("store", "history", "ledgerstore directory")
 	samples := flag.Int("samples", 1000, "observations to attack in the demo")
 	seed := flag.Int64("seed", 1, "seed for observation sampling")
+	workers := flag.Int("workers", 0, "parallel scan/study workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*storeDir, *samples, *seed); err != nil {
+	if err := run(*storeDir, *samples, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "deanon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir string, samples int, seed int64) error {
+func run(storeDir string, samples int, seed int64, workers int) error {
 	fmt.Println("Table I — rounding resolutions per currency-strength group:")
 	for _, row := range core.TableI() {
 		fmt.Println("  " + row)
@@ -43,6 +45,7 @@ func run(storeDir string, samples int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	ds.SetWorkers(workers)
 	rows, err := ds.Figure3()
 	if err != nil {
 		return err
@@ -52,6 +55,17 @@ func run(storeDir string, samples int, seed int64) error {
 		pct := 100 * r.IG
 		fmt.Printf("  %-16s %6.2f%%  (%d unique of %d)  %s\n",
 			r.Resolution, pct, r.Unique, r.Total, strings.Repeat("#", int(pct/2.5)))
+	}
+
+	imp, fullIG, err := ds.FeatureImportance(context.Background(), workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFeature importance (full-resolution IG %.2f%%), strongest first:\n", 100*fullIG)
+	fmt.Printf("  %-12s %12s %12s %12s\n", "feature", "alone", "dropped", "marginal")
+	for _, fi := range imp {
+		fmt.Printf("  %-12s %11.2f%% %11.2f%% %11.2f%%\n",
+			fi.Feature, 100*fi.Alone, 100*fi.Dropped, 100*(fullIG-fi.Dropped))
 	}
 
 	// Attack demo: build the attacker's index at full resolution, then

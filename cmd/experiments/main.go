@@ -32,15 +32,16 @@ func main() {
 	rounds := flag.Int("rounds", 2000, "consensus rounds per Figure 2 period")
 	storeDir := flag.String("store", "", "persist/reuse the history in this ledgerstore directory")
 	only := flag.String("only", "", "run a single experiment: fig2|table1|fig3|fig4|fig5|fig6|table2|fig7|mitigation|incentives|spamcost|overlap|dos|window")
+	workers := flag.Int("workers", 0, "parallel scan/study workers for the de-anonymization pipeline (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*payments, *seed, *rounds, *storeDir, *only); err != nil {
+	if err := run(*payments, *seed, *rounds, *storeDir, *only, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(payments int, seed int64, rounds int, storeDir, only string) error {
+func run(payments int, seed int64, rounds int, storeDir, only string, workers int) error {
 	want := func(name string) bool { return only == "" || only == name }
 
 	if want("fig2") {
@@ -76,6 +77,7 @@ func run(payments int, seed int64, rounds int, storeDir, only string) error {
 	if err != nil {
 		return err
 	}
+	ds.SetWorkers(workers)
 	st, err := ds.Stats()
 	if err != nil {
 		return err

@@ -6,7 +6,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
 
 	"ripplestudy/internal/amount"
 	"ripplestudy/internal/analysis"
@@ -32,6 +36,9 @@ type Config struct {
 	// ConsensusRounds scales the Figure 2 collection periods (a full
 	// 2-week period is consensus.FullPeriodRounds).
 	ConsensusRounds int
+	// Workers caps the scan/study parallelism of the de-anonymization
+	// pipeline; 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,11 +164,51 @@ func Figure2(rounds int, seed int64) ([]monitor.Report, error) {
 // TableI returns the rounding specification rows.
 func TableI() []string { return deanon.TableISpec() }
 
-// Figure3 computes the information gain for the paper's ten resolution
-// tuples over the dataset.
-func (ds *Dataset) Figure3() ([]deanon.RowResult, error) {
-	study := deanon.NewStudy(deanon.Figure3Rows)
-	err := ds.source.Pages(func(p *ledger.Page) error {
+// SetWorkers overrides the de-anonymization pipeline's parallelism
+// (0 restores the GOMAXPROCS default).
+func (ds *Dataset) SetWorkers(n int) { ds.cfg.Workers = n }
+
+// workers resolves the configured parallelism.
+func (ds *Dataset) workers() int {
+	if ds.cfg.Workers > 0 {
+		return ds.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardBitsFor sizes the fingerprint shard count to the worker count:
+// the next power of two ≥ workers, so every producer can make progress
+// against a worker-private map.
+func shardBitsFor(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	return bits.Len(uint(workers - 1))
+}
+
+// feedStudy streams every payment's features into the sharded study.
+// Store-backed datasets scan segments in parallel with one Feeder per
+// scan worker; in-memory datasets feed sequentially (the shard workers
+// still count concurrently).
+func (ds *Dataset) feedStudy(ctx context.Context, workers int, study *deanon.ParallelStudy) error {
+	if store, ok := ds.source.(*ledgerstore.Store); ok && workers > 1 {
+		feeders := make([]*deanon.Feeder, workers)
+		for i := range feeders {
+			feeders[i] = study.Feeder()
+		}
+		return store.PagesParallel(ctx, workers, func(w int, p *ledger.Page) error {
+			for i := range p.Txs {
+				if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+					feeders[w].Observe(f)
+				}
+			}
+			return nil
+		})
+	}
+	return ds.source.Pages(func(p *ledger.Page) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i := range p.Txs {
 			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
 				study.Observe(f)
@@ -169,10 +216,98 @@ func (ds *Dataset) Figure3() ([]deanon.RowResult, error) {
 		}
 		return nil
 	})
-	if err != nil {
+}
+
+// Figure3 computes the information gain for the paper's ten resolution
+// tuples over the dataset, using the sharded pipeline at the configured
+// parallelism.
+func (ds *Dataset) Figure3() ([]deanon.RowResult, error) {
+	return ds.Figure3Parallel(context.Background(), 0)
+}
+
+// Figure3Parallel is Figure3 with explicit cancellation and worker
+// count (0 means the dataset's configured parallelism). The results are
+// bit-identical to a sequential deanon.Study pass regardless of worker
+// count.
+func (ds *Dataset) Figure3Parallel(ctx context.Context, workers int) ([]deanon.RowResult, error) {
+	if workers < 1 {
+		workers = ds.workers()
+	}
+	study := deanon.NewParallelStudy(deanon.Figure3Rows, shardBitsFor(workers))
+	if err := ds.feedStudy(ctx, workers, study); err != nil {
 		return nil, err
 	}
 	return study.Results(), nil
+}
+
+// FeatureImportance computes the per-feature contribution breakdown
+// (alone / dropped IG per feature) plus the full-fingerprint IG, over
+// the same parallel pipeline as Figure3.
+func (ds *Dataset) FeatureImportance(ctx context.Context, workers int) ([]deanon.FeatureImportance, float64, error) {
+	if workers < 1 {
+		workers = ds.workers()
+	}
+	imp := deanon.NewImportanceStudyParallel(shardBitsFor(workers))
+	study := imp.Parallel()
+	if err := ds.feedStudy(ctx, workers, study); err != nil {
+		return nil, 0, err
+	}
+	return imp.Results(), imp.FullIG(), nil
+}
+
+// collectFeatures gathers every payment's features in history order,
+// scanning segments in parallel when the dataset is store-backed. The
+// parallel path tags each page's features with its sequence and sorts,
+// so the result is identical to a sequential scan.
+func (ds *Dataset) collectFeatures(ctx context.Context) ([]deanon.Features, error) {
+	workers := ds.workers()
+	store, ok := ds.source.(*ledgerstore.Store)
+	if !ok || workers <= 1 {
+		var feats []deanon.Features
+		err := ds.source.Pages(func(p *ledger.Page) error {
+			for i := range p.Txs {
+				if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+					feats = append(feats, f)
+				}
+			}
+			return nil
+		})
+		return feats, err
+	}
+	type pageFeats struct {
+		seq   uint64
+		feats []deanon.Features
+	}
+	perWorker := make([][]pageFeats, workers)
+	err := store.PagesParallel(ctx, workers, func(w int, p *ledger.Page) error {
+		var fs []deanon.Features
+		for i := range p.Txs {
+			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+				fs = append(fs, f)
+			}
+		}
+		if len(fs) > 0 {
+			perWorker[w] = append(perWorker[w], pageFeats{seq: p.Header.Sequence, feats: fs})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var chunks []pageFeats
+	total := 0
+	for _, pw := range perWorker {
+		for _, c := range pw {
+			chunks = append(chunks, c)
+			total += len(c.feats)
+		}
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].seq < chunks[j].seq })
+	feats := make([]deanon.Features, 0, total)
+	for _, c := range chunks {
+		feats = append(feats, c.feats...)
+	}
+	return feats, nil
 }
 
 // Figure4 returns the currency histogram.
@@ -278,15 +413,7 @@ func (ds *Dataset) TableII(snapshotFraction float64) (*replay.Result, error) {
 // dataset: the privacy gained and the bootstrapping cost paid when every
 // sender splits activity across k wallets, for each k.
 func (ds *Dataset) Mitigation(ks []int) ([]deanon.MitigationResult, error) {
-	var feats []deanon.Features
-	err := ds.source.Pages(func(p *ledger.Page) error {
-		for i := range p.Txs {
-			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
-				feats = append(feats, f)
-			}
-		}
-		return nil
-	})
+	feats, err := ds.collectFeatures(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -345,18 +472,12 @@ func (ds *Dataset) ClockUncertainty(deltas []uint32) ([]deanon.WindowPoint, erro
 	w := deanon.NewWindowIndex(deanon.Resolution{
 		Amount: deanon.AmountMax, Currency: true, Destination: true,
 	})
-	var payments []deanon.Features
-	err := ds.source.Pages(func(p *ledger.Page) error {
-		for i := range p.Txs {
-			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
-				w.Add(f)
-				payments = append(payments, f)
-			}
-		}
-		return nil
-	})
+	payments, err := ds.collectFeatures(context.Background())
 	if err != nil {
 		return nil, err
+	}
+	for _, f := range payments {
+		w.Add(f)
 	}
 	return w.UncertaintySweep(payments, deltas), nil
 }

@@ -1,0 +1,118 @@
+package deanon
+
+// countTable is the shard-local fingerprint counter: an open-addressed,
+// linear-probed table with 8-byte keys and 1-byte saturating counts.
+// Two properties of the workload make it much cheaper than a Go map:
+//
+//   - Fingerprints are already FNV-1a outputs, uniformly mixed, so the
+//     low bits index the table directly — no per-access re-hashing.
+//   - The study only distinguishes count 0 / 1 / ≥2, so a uint8
+//     saturating at 2 replaces a uint32, and the whole table is 9 bytes
+//     per slot (vs ~17 bytes per entry in a map[Fingerprint]uint32
+//     bucket array, before overflow buckets).
+//
+// Shard routing uses the fingerprint's HIGH bits (ParallelStudy), the
+// probe sequence its LOW bits, so the two never interfere.
+//
+// The all-zero fingerprint doubles as the empty-slot marker; its count
+// lives out-of-band in zeroCount.
+type countTable struct {
+	keys   []Fingerprint
+	counts []uint8
+	mask   uint64
+	// used is the number of occupied slots (excluding the zero key).
+	used      int
+	zeroCount uint8
+}
+
+const (
+	// countTableMinCap is the initial capacity (power of two).
+	countTableMinCap = 256
+	// countTable grows when used exceeds cap×13/16 (≈81% load).
+	countTableLoadNum = 13
+	countTableLoadDen = 16
+)
+
+func newCountTable() *countTable {
+	return &countTable{
+		keys:   make([]Fingerprint, countTableMinCap),
+		counts: make([]uint8, countTableMinCap),
+		mask:   countTableMinCap - 1,
+	}
+}
+
+// incr bumps fp's saturating counter.
+func (t *countTable) incr(fp Fingerprint) {
+	if fp == 0 {
+		if t.zeroCount < countSaturated {
+			t.zeroCount++
+		}
+		return
+	}
+	i := uint64(fp) & t.mask
+	for {
+		switch t.keys[i] {
+		case fp:
+			if t.counts[i] < countSaturated {
+				t.counts[i]++
+			}
+			return
+		case 0:
+			t.keys[i] = fp
+			t.counts[i] = 1
+			t.used++
+			if t.used*countTableLoadDen > len(t.keys)*countTableLoadNum {
+				t.grow()
+			}
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// grow doubles the table and reinserts every occupied slot.
+func (t *countTable) grow() {
+	oldKeys, oldCounts := t.keys, t.counts
+	t.keys = make([]Fingerprint, 2*len(oldKeys))
+	t.counts = make([]uint8, 2*len(oldCounts))
+	t.mask = uint64(len(t.keys) - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := uint64(k) & t.mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.keys[i] = k
+		t.counts[i] = oldCounts[j]
+	}
+}
+
+// unique returns the number of fingerprints seen exactly once.
+func (t *countTable) unique() int {
+	n := 0
+	for i, k := range t.keys {
+		if k != 0 && t.counts[i] == 1 {
+			n++
+		}
+	}
+	if t.zeroCount == 1 {
+		n++
+	}
+	return n
+}
+
+// distinct returns the number of distinct fingerprints in the table.
+func (t *countTable) distinct() int {
+	n := t.used
+	if t.zeroCount > 0 {
+		n++
+	}
+	return n
+}
+
+// bytes reports the table's resident footprint (keys + counts arrays).
+func (t *countTable) bytes() int {
+	return len(t.keys)*8 + len(t.counts)
+}

@@ -11,8 +11,9 @@
 package deanon
 
 import (
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
+	"sort"
 
 	"ripplestudy/internal/addr"
 	"ripplestudy/internal/amount"
@@ -204,49 +205,35 @@ func FromTransaction(p *ledger.Page, tx *ledger.Tx, meta *ledger.TxMeta) (Featur
 type Fingerprint uint64
 
 // FingerprintOf computes the fingerprint of the observation under the
-// resolution.
+// resolution. It allocates nothing; studies that fingerprint one payment
+// under many resolutions should go through EncodeFeatures instead, which
+// rounds and serializes each feature once.
 func FingerprintOf(f Features, res Resolution) Fingerprint {
-	h := fnv.New64a()
-	var buf [16]byte
+	h := fnvOffset64
 	if res.Amount != AmountOff {
-		v := RoundAmount(f.Amount, f.Currency, res.Amount)
-		m := v.Mantissa()
-		e := uint64(int64(v.Exponent()))
-		s := uint64(0)
-		if v.IsNegative() {
-			s = 1
-		}
-		putU64(buf[:8], m)
-		putU64(buf[8:16], e<<1|s)
-		h.Write([]byte{'A'})
-		h.Write(buf[:])
+		var chunk [amtChunkLen]byte
+		encodeAmount(&chunk, RoundAmount(f.Amount, f.Currency, res.Amount))
+		h = fnvBytes(h, chunk[:])
 	}
 	if res.Time != TimeOff {
-		putU64(buf[:8], uint64(CoarsenTime(f.Time, res.Time)))
-		h.Write([]byte{'T'})
-		h.Write(buf[:8])
+		var chunk [timeChunkLen]byte
+		chunk[0] = 'T'
+		binary.BigEndian.PutUint64(chunk[1:], uint64(CoarsenTime(f.Time, res.Time)))
+		h = fnvBytes(h, chunk[:])
 	}
 	if res.Currency {
-		h.Write([]byte{'C'})
-		h.Write(f.Currency[:])
+		var chunk [curChunkLen]byte
+		chunk[0] = 'C'
+		copy(chunk[1:], f.Currency[:])
+		h = fnvBytes(h, chunk[:])
 	}
 	if res.Destination {
-		h.Write([]byte{'D'})
-		h.Write(f.Destination[:])
+		var chunk [dstChunkLen]byte
+		chunk[0] = 'D'
+		copy(chunk[1:], f.Destination[:])
+		h = fnvBytes(h, chunk[:])
 	}
-	return Fingerprint(h.Sum64())
-}
-
-func putU64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v >> 56)
-	b[1] = byte(v >> 48)
-	b[2] = byte(v >> 40)
-	b[3] = byte(v >> 32)
-	b[4] = byte(v >> 24)
-	b[5] = byte(v >> 16)
-	b[6] = byte(v >> 8)
-	b[7] = byte(v)
+	return Fingerprint(h)
 }
 
 // Figure3Rows are the ten resolution tuples of the paper's Figure 3, in
@@ -285,10 +272,13 @@ func NewStudy(resolutions []Resolution) *Study {
 }
 
 // Observe folds one payment into every resolution's fingerprint counts.
+// The features are encoded once and fingerprinted per resolution from
+// the shared encoding.
 func (s *Study) Observe(f Features) {
 	s.payments++
-	for i, res := range s.resolutions {
-		s.counts[i][FingerprintOf(f, res)]++
+	enc := EncodeFeatures(f)
+	for i := range s.resolutions {
+		s.counts[i][enc.Fingerprint(s.resolutions[i])]++
 	}
 }
 
@@ -356,15 +346,38 @@ func importanceRows() []Resolution {
 	}
 }
 
+// FingerprintStudy is the contract shared by the sequential Study and
+// the sharded ParallelStudy: fold payments in with Observe, then read
+// the per-resolution information gain with Results.
+type FingerprintStudy interface {
+	Observe(Features)
+	Payments() int
+	Results() []RowResult
+}
+
 // ImportanceStudy computes per-feature importance over one stream of
 // payments. Use Observe to feed it and Results to read it.
 type ImportanceStudy struct {
-	study *Study
+	study FingerprintStudy
 }
 
 // NewImportanceStudy prepares the 9-resolution study.
 func NewImportanceStudy() *ImportanceStudy {
 	return &ImportanceStudy{study: NewStudy(importanceRows())}
+}
+
+// NewImportanceStudyParallel is NewImportanceStudy backed by a sharded
+// ParallelStudy with 1<<shardBits counting shards. Feed it through
+// Observe (single producer) or by attaching Feeders to Parallel().
+func NewImportanceStudyParallel(shardBits int) *ImportanceStudy {
+	return &ImportanceStudy{study: NewParallelStudy(importanceRows(), shardBits)}
+}
+
+// Parallel returns the underlying ParallelStudy when the importance
+// study was built with NewImportanceStudyParallel, else nil.
+func (s *ImportanceStudy) Parallel() *ParallelStudy {
+	ps, _ := s.study.(*ParallelStudy)
+	return ps
 }
 
 // Observe folds one payment in.
@@ -392,13 +405,9 @@ func (s *ImportanceStudy) Results() []FeatureImportance {
 }
 
 func sortByMarginal(rows []FeatureImportance, full float64) {
-	for i := range rows {
-		for j := i + 1; j < len(rows); j++ {
-			if full-rows[j].Dropped > full-rows[i].Dropped {
-				rows[i], rows[j] = rows[j], rows[i]
-			}
-		}
-	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return full-rows[i].Dropped > full-rows[j].Dropped
+	})
 }
 
 // Index is the attacker's lookup structure for one resolution: from a
@@ -407,31 +416,70 @@ func sortByMarginal(rows []FeatureImportance, full float64) {
 // purchase.
 type Index struct {
 	res     Resolution
-	senders map[Fingerprint][]addr.AccountID
+	senders map[Fingerprint]*candidateSet
+}
+
+// candidateSet keeps a fingerprint's candidate senders in first-seen
+// order. Small sets dedupe by linear scan; once a fingerprint turns hot
+// (e.g. the MTL spam cluster collapsing millions of payments onto a few
+// fingerprints) a membership map takes over, keeping Add O(1) instead
+// of O(n) per payment — O(n²) over the cluster.
+type candidateSet struct {
+	list []addr.AccountID
+	seen map[addr.AccountID]struct{} // nil until len(list) > candidateScanMax
+}
+
+// candidateScanMax is the largest candidate list deduped by linear scan.
+const candidateScanMax = 8
+
+func (c *candidateSet) add(s addr.AccountID) {
+	if c.seen == nil {
+		for _, have := range c.list {
+			if have == s {
+				return
+			}
+		}
+		c.list = append(c.list, s)
+		if len(c.list) > candidateScanMax {
+			c.seen = make(map[addr.AccountID]struct{}, 2*len(c.list))
+			for _, have := range c.list {
+				c.seen[have] = struct{}{}
+			}
+		}
+		return
+	}
+	if _, ok := c.seen[s]; ok {
+		return
+	}
+	c.seen[s] = struct{}{}
+	c.list = append(c.list, s)
 }
 
 // NewIndex creates an empty index at the given resolution.
 func NewIndex(res Resolution) *Index {
-	return &Index{res: res, senders: make(map[Fingerprint][]addr.AccountID)}
+	return &Index{res: res, senders: make(map[Fingerprint]*candidateSet)}
 }
 
 // Add indexes one payment.
 func (idx *Index) Add(f Features) {
 	fp := FingerprintOf(f, idx.res)
-	list := idx.senders[fp]
-	for _, s := range list {
-		if s == f.Sender {
-			return // the sender is already a candidate for this fingerprint
-		}
+	set := idx.senders[fp]
+	if set == nil {
+		set = &candidateSet{}
+		idx.senders[fp] = set
 	}
-	idx.senders[fp] = append(list, f.Sender)
+	set.add(f.Sender)
 }
 
-// Candidates returns the senders consistent with the observation. A
-// single candidate is a successful de-anonymization; the sender field of
-// the observation is ignored.
+// Candidates returns the senders consistent with the observation, in
+// first-indexed order. A single candidate is a successful
+// de-anonymization; the sender field of the observation is ignored.
 func (idx *Index) Candidates(f Features) []addr.AccountID {
-	return idx.senders[FingerprintOf(f, idx.res)]
+	set := idx.senders[FingerprintOf(f, idx.res)]
+	if set == nil {
+		return nil
+	}
+	return set.list
 }
 
 // Resolution returns the index's resolution.

@@ -1,0 +1,104 @@
+package ledgerstore
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"ripplestudy/internal/ledger"
+)
+
+// PagesParallel streams every stored page to fn, decoding segments
+// concurrently on up to `workers` goroutines. It is the scan behind the
+// Figure 3 pipeline at full-history scale, where a single goroutine
+// spends most of its time in DecodePage.
+//
+// Ordering: pages within one segment arrive in append order, but
+// segments are interleaved arbitrarily across workers — callers needing
+// global order must use Pages or reorder by header sequence. fn is
+// called concurrently from up to `workers` goroutines; the worker index
+// (0 ≤ w < workers) identifies the calling goroutine so callers can
+// keep per-worker state (e.g. one deanon.Feeder each) without locking.
+//
+// The first error — fn's, a decode failure, or ctx cancellation — stops
+// all workers and is returned. A workers value < 1 defaults to
+// GOMAXPROCS. Like Pages, a truncated final record is tolerated and a
+// checksum mismatch returns ErrCorrupted.
+func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker int, p *ledger.Page) error) error {
+	if err := s.closeCurrent(); err != nil {
+		return err
+	}
+	segs, err := segmentFiles(s.dir)
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	if workers <= 1 {
+		for _, seg := range segs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := streamSegment(seg, func(p *ledger.Page) error {
+				return fn(0, p)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	work := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seg := range work {
+				err := streamSegment(seg, func(p *ledger.Page) error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return fn(w, p)
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+feed:
+	for _, seg := range segs {
+		select {
+		case work <- seg:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	// Cancellation without a worker error (parent ctx cancelled mid-feed)
+	// still has to surface.
+	fail(ctx.Err())
+	return firstErr
+}
