@@ -13,19 +13,25 @@ vet:
 test:
 	$(GO) test ./...
 
-# Data-race check over the concurrent paths: stream/collection plus the
-# sharded de-anonymization pipeline (PagesParallel + ParallelStudy).
+# Data-race check over the concurrent paths: stream/collection, the
+# sharded de-anonymization pipeline (PagesParallel + ParallelStudy), and
+# the live serving layer (concurrent queries against ingestion).
 race:
-	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/...
+	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/...
 
 # Perf trajectory: run the Figure 3 pipeline and store benchmarks with
 # allocation stats and archive them as JSON so future PRs can diff
-# payments/s, ns/op, and B/op against this one.
+# payments/s, ns/op, and B/op against this one. Serving-layer
+# benchmarks (ingest fan-out, O(1) lookups, snapshot publish, HTTP)
+# are archived separately in BENCH_serve.json.
 bench:
 	$(GO) test -run '^$$' -bench 'Figure3|Fig3Deanon|Store' -benchmem . | tee bench.out
 	$(GO) test -run '^$$' -bench 'PagesParallel' -benchmem ./internal/ledgerstore | tee -a bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_deanon.json
+	$(GO) run ./cmd/benchjson -out BENCH_deanon.json < bench.out
 	@echo "wrote BENCH_deanon.json"
+	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve | tee bench_serve.out
+	$(GO) run ./cmd/benchjson -out BENCH_serve.json < bench_serve.out
+	@echo "wrote BENCH_serve.json"
 
 # Short chaos pass: fault injection, resilience, and the degraded-stream
 # integration test.

@@ -7,12 +7,22 @@
 // Each benchmark line becomes an entry keyed by benchmark name with its
 // iteration count and every reported metric (ns/op, B/op, allocs/op,
 // and custom metrics like payments/s) as a unit→value map.
+//
+// With -out, the document is written to a file instead of stdout, and
+// an existing file is merged rather than clobbered: entries for
+// re-measured benchmark names are replaced in place, entries for
+// benchmarks not in this run are kept, and new names append — so one
+// archive can accumulate results from several `go test -bench` passes.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"strconv"
 	"strings"
@@ -33,17 +43,80 @@ type Output struct {
 }
 
 func main() {
-	out, err := parse(bufio.NewScanner(os.Stdin))
+	outPath := flag.String("out", "", "write (and merge into) this file instead of stdout")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, stdout io.Writer, outPath string) error {
+	out, err := parse(bufio.NewScanner(in))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	if outPath != "" {
+		prev, err := readExisting(outPath)
+		if err != nil {
+			return err
+		}
+		if prev != nil {
+			out = merge(prev, out)
+		}
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		stdout = f
+	}
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return enc.Encode(out)
+}
+
+// readExisting loads a previous archive; a missing file is not an
+// error (nil, nil), a corrupt one is.
+func readExisting(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
 	}
+	if err != nil {
+		return nil, err
+	}
+	var prev Output
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("existing %s: %w", path, err)
+	}
+	return &prev, nil
+}
+
+// merge folds fresh results into a previous archive: re-measured names
+// are replaced in place (keeping their position), new names append, and
+// context keys from the fresh run win.
+func merge(prev, fresh *Output) *Output {
+	merged := &Output{Context: map[string]string{}, Benchmarks: prev.Benchmarks}
+	for k, v := range prev.Context {
+		merged.Context[k] = v
+	}
+	for k, v := range fresh.Context {
+		merged.Context[k] = v
+	}
+	index := make(map[string]int, len(merged.Benchmarks))
+	for i, e := range merged.Benchmarks {
+		index[e.Name] = i
+	}
+	for _, e := range fresh.Benchmarks {
+		if i, ok := index[e.Name]; ok {
+			merged.Benchmarks[i] = e
+		} else {
+			index[e.Name] = len(merged.Benchmarks)
+			merged.Benchmarks = append(merged.Benchmarks, e)
+		}
+	}
+	return merged
 }
 
 func parse(sc *bufio.Scanner) (*Output, error) {

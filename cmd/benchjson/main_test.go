@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ripplestudy
+cpu: Test CPU
+BenchmarkFigure3/parallel-8  92  12812383 ns/op  1523 B/op  4 allocs/op  936578 payments/s
+BenchmarkStoreScan-8  10  98765432 ns/op
+PASS
+ok  	ripplestudy	2.071s
+`
+
+func parseString(t *testing.T, s string) *Output {
+	t.Helper()
+	out, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := parseString(t, sampleOutput)
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(out.Benchmarks))
+	}
+	e := out.Benchmarks[0]
+	if e.Name != "BenchmarkFigure3/parallel-8" || e.Iterations != 92 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	want := map[string]float64{
+		"ns/op": 12812383, "B/op": 1523, "allocs/op": 4, "payments/s": 936578,
+	}
+	if !reflect.DeepEqual(e.Metrics, want) {
+		t.Fatalf("metrics = %v, want %v", e.Metrics, want)
+	}
+	if out.Context["pkg"] != "ripplestudy" || out.Context["cpu"] != "Test CPU" {
+		t.Fatalf("context = %v", out.Context)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); err == nil {
+		t.Fatal("no error for input without benchmark lines")
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	out := parseString(t, "BenchmarkBad notanumber 5 ns/op\nBenchmarkGood-4 7 100 ns/op\n")
+	if len(out.Benchmarks) != 1 || out.Benchmarks[0].Name != "BenchmarkGood-4" {
+		t.Fatalf("benchmarks = %+v", out.Benchmarks)
+	}
+}
+
+// TestJSONSchemaRoundTrip pins the archived document shape: encode,
+// decode, and compare — CI consumers rely on these field names.
+func TestJSONSchemaRoundTrip(t *testing.T) {
+	out := parseString(t, sampleOutput)
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"context"`, `"benchmarks"`, `"name"`, `"iterations"`, `"metrics"`, `"ns/op"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("encoded document missing %s: %s", key, data)
+		}
+	}
+	var back Output
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, out) {
+		t.Fatalf("round trip changed the document:\n%+v\n%+v", &back, out)
+	}
+}
+
+// TestOutFileMergesExisting covers the -out path: a second run into the
+// same file replaces re-measured entries, keeps absent ones, and
+// appends new ones.
+func TestOutFileMergesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+
+	if err := run(strings.NewReader(sampleOutput), nil, path); err != nil {
+		t.Fatal(err)
+	}
+
+	second := `goos: linux
+cpu: Other CPU
+BenchmarkStoreScan-8  20  555 ns/op
+BenchmarkServeLookup-8  1000  42 ns/op
+`
+	if err := run(strings.NewReader(second), nil, path); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := readExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(merged.Benchmarks))
+	for i, e := range merged.Benchmarks {
+		names[i] = e.Name
+	}
+	want := []string{"BenchmarkFigure3/parallel-8", "BenchmarkStoreScan-8", "BenchmarkServeLookup-8"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("merged names = %v, want %v", names, want)
+	}
+	if merged.Benchmarks[1].Metrics["ns/op"] != 555 {
+		t.Fatalf("re-measured entry not replaced: %+v", merged.Benchmarks[1])
+	}
+	if merged.Benchmarks[0].Iterations != 92 {
+		t.Fatalf("absent entry not kept: %+v", merged.Benchmarks[0])
+	}
+	if merged.Context["cpu"] != "Other CPU" || merged.Context["pkg"] != "ripplestudy" {
+		t.Fatalf("context merge wrong: %v", merged.Context)
+	}
+}
+
+// TestOutFileRejectsCorruptExisting refuses to silently clobber a file
+// that is not a benchmark archive.
+func TestOutFileRejectsCorruptExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleOutput), nil, path); err == nil {
+		t.Fatal("no error merging into a corrupt archive")
+	}
+}
+
+// TestStdoutModeUnchanged: without -out the document goes to the given
+// writer and no file is touched.
+func TestStdoutModeUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	var out Output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("stdout document has %d benchmarks, want 2", len(out.Benchmarks))
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ripplestudy/internal/consensus"
@@ -49,14 +51,23 @@ func run(connect, label string, maxEvents int, asJSON bool, retries int, stall t
 	})
 	fmt.Fprintf(os.Stderr, "consensus-monitor: collecting from %s\n", connect)
 
+	// SIGINT/SIGTERM stop the collection but still flush everything
+	// gathered so far — a partial window is a valid (smaller) dataset.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	col := monitor.NewCollector()
-	err := client.Run(context.Background(), func(ev consensus.Event) error {
+	err := client.Run(ctx, func(ev consensus.Event) error {
 		col.Record(ev)
 		if maxEvents > 0 && col.Events() >= maxEvents {
 			return netstream.ErrStop
 		}
 		return nil
 	})
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "consensus-monitor: interrupted, flushing partial collection")
+		err = nil
+	}
 	// A server that finishes its period and exits looks like exhausted
 	// retries; the collection up to that point is still the result. But
 	// if we never connected at all there is no collection to report.

@@ -19,15 +19,16 @@ import (
 func main() {
 	storeDir := flag.String("store", "history", "ledgerstore directory")
 	topK := flag.Int("top", 50, "intermediaries to list (Figure 7)")
+	workers := flag.Int("workers", 0, "parallel segment-scan workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*storeDir, *topK); err != nil {
+	if err := run(*storeDir, *topK, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ledger-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir string, topK int) error {
+func run(storeDir string, topK, workers int) error {
 	store, err := ledgerstore.Open(storeDir)
 	if err != nil {
 		return err
@@ -45,6 +46,7 @@ func run(storeDir string, topK int) error {
 	if err != nil {
 		return err
 	}
+	ds.SetWorkers(workers)
 	st, err := ds.Stats()
 	if err != nil {
 		return err

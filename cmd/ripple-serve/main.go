@@ -1,0 +1,193 @@
+// Command ripple-serve is the live query-serving layer: it follows a
+// validation stream (cmd/rippled-sim with -stream-pages), optionally
+// backfills a ledgerstore history first, and serves the paper's
+// analytics — per-validator tallies (Fig. 2), de-anonymization
+// information gain and point lookups (Fig. 3 / Table I), and the
+// ecosystem histograms (Figs. 4–6) — over an HTTP JSON API, answering
+// from incrementally maintained materialized views instead of batch
+// scans.
+//
+//	ripple-serve -listen 127.0.0.1:8080 -connect 127.0.0.1:5006 -period dec2015
+//	ripple-serve -listen 127.0.0.1:8080 -store ./history -workers 8
+//
+// Endpoints: /healthz, /metrics (Prometheus text), /v1/validators,
+// /v1/deanon, /v1/deanon/lookup, /v1/ecosystem.
+//
+// SIGINT/SIGTERM shut down gracefully: the stream subscription stops,
+// in-flight ingestion drains into a final epoch, the HTTP server
+// finishes open requests, and the partial collection summary is
+// printed — data collected before the signal is never lost.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledgerstore"
+	"ripplestudy/internal/netstream"
+	"ripplestudy/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP address for the query API")
+	connect := flag.String("connect", "", "validation stream address to follow (optional)")
+	storeDir := flag.String("store", "", "ledgerstore directory to backfill before following (optional)")
+	workers := flag.Int("workers", 4, "parallel decode workers for the backfill")
+	period := flag.String("period", "", "label validators from a collection period: dec2015|jul2016|nov2016")
+	retries := flag.Int("retries", 8, "consecutive connection failures before giving up on the stream")
+	stall := flag.Duration("stall", 30*time.Second, "reconnect if no event arrives for this long (0 = never)")
+	queue := flag.Int("queue", 1024, "per-view ingest queue size")
+	batch := flag.Int("batch", 64, "max updates between view snapshot publishes")
+	drop := flag.Bool("drop", false, "shed ingest load when a view falls behind instead of applying backpressure")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrent HTTP queries")
+	flag.Parse()
+
+	if err := run(*listen, *connect, *storeDir, *period, *workers, *retries, *queue, *batch, *maxInflight, *stall, *drop); err != nil {
+		fmt.Fprintln(os.Stderr, "ripple-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// periodLabels maps a collection period's validator node IDs to their
+// display labels so /v1/validators reads like the paper's Figure 2.
+func periodLabels(period string) (map[addr.NodeID]string, error) {
+	if period == "" {
+		return nil, nil
+	}
+	var spec consensus.PeriodSpec
+	switch period {
+	case "dec2015":
+		spec = consensus.December2015(0)
+	case "jul2016":
+		spec = consensus.July2016(0)
+	case "nov2016":
+		spec = consensus.November2016(0)
+	default:
+		return nil, fmt.Errorf("unknown period %q (want dec2015|jul2016|nov2016)", period)
+	}
+	labels := make(map[addr.NodeID]string)
+	for _, vs := range spec.Specs {
+		if vs.Label != "" {
+			labels[addr.KeyPairFromSeed(vs.Seed).NodeID()] = vs.Label
+		}
+	}
+	return labels, nil
+}
+
+func run(listen, connect, storeDir, period string, workers, retries, queue, batch, maxInflight int, stall time.Duration, drop bool) error {
+	labels, err := periodLabels(period)
+	if err != nil {
+		return err
+	}
+	svc := serve.NewService(serve.Options{
+		QueueSize:       queue,
+		PublishBatch:    batch,
+		NonBlocking:     drop,
+		MaxConcurrent:   maxInflight,
+		ValidatorLabels: labels,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	httpErr := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ripple-serve: serving on http://%s\n", listen)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+		close(httpErr)
+	}()
+
+	if storeDir != "" {
+		st, err := ledgerstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := svc.BackfillStore(ctx, st, workers); err != nil {
+			if ctx.Err() != nil {
+				// Interrupted mid-backfill: keep what was ingested.
+				fmt.Fprintln(os.Stderr, "ripple-serve: backfill interrupted, keeping partial views")
+			} else {
+				return fmt.Errorf("backfill: %w", err)
+			}
+		} else {
+			h := svc.Health()
+			fmt.Fprintf(os.Stderr, "ripple-serve: backfilled %d pages in %v with %d workers\n",
+				h.IngestedPages, time.Since(start).Round(time.Millisecond), workers)
+		}
+	}
+
+	var streamStats netstream.ClientStats
+	if connect != "" && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "ripple-serve: following validation stream at %s\n", connect)
+		stats, err := svc.Follow(ctx, connect, netstream.ResilientOptions{
+			MaxConsecutiveFailures: retries,
+			StallTimeout:           stall,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		streamStats = stats
+		// A simulator that finishes its period and exits looks like
+		// exhausted retries; everything collected so far still serves.
+		if err != nil && (!errors.Is(err, netstream.ErrUnavailable) || stats.Connects == 0) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ripple-serve: stream ended (events=%d reconnects=%d gaps=%d)\n",
+			stats.Events, stats.Reconnects, stats.Gaps)
+	}
+
+	if connect == "" && storeDir != "" && ctx.Err() == nil {
+		// Pure backfill mode: keep serving until a signal arrives.
+		<-ctx.Done()
+	}
+
+	// Graceful shutdown: drain queued ingestion into a final epoch, then
+	// let in-flight requests finish against it.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = svc.Drain(drainCtx)
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ripple-serve: drain incomplete: %v\n", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ripple-serve: http shutdown: %v\n", err)
+	}
+	cancel()
+	if err, ok := <-httpErr; ok && err != nil {
+		return err
+	}
+	svc.Close()
+
+	// The partial-collection summary: what the views hold at exit.
+	h := svc.Health()
+	fmt.Fprintf(os.Stderr, "ripple-serve: final state: events=%d pages=%d dropped=%d\n",
+		h.IngestedEvents, h.IngestedPages, h.DroppedEvents)
+	tally := svc.Tally()
+	fp := svc.Fingerprints()
+	eco := svc.Ecosystem()
+	fmt.Fprintf(os.Stderr, "ripple-serve: fig2: %d rounds, %d validators (epoch %d)\n",
+		tally.Rounds, len(tally.Validators), tally.Epoch)
+	fmt.Fprintf(os.Stderr, "ripple-serve: fig3: %d payments fingerprinted across %d resolutions (epoch %d)\n",
+		fp.Payments, len(fp.Rows), fp.Epoch)
+	fmt.Fprintf(os.Stderr, "ripple-serve: fig4-6: %d payments, %d offers, %d active users (epoch %d)\n",
+		eco.Payments, eco.Offers, eco.ActiveUsers, eco.Epoch)
+	if streamStats.Events > 0 || connect != "" {
+		fmt.Fprintf(os.Stderr, "ripple-serve: stream client: connects=%d events=%d missed=%d duplicates=%d\n",
+			streamStats.Connects, streamStats.Events, streamStats.Missed, streamStats.Duplicates)
+	}
+	return nil
+}

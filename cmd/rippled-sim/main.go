@@ -38,6 +38,7 @@ func main() {
 	delay := flag.Duration("delay", 0, "real-time delay per round (0 = as fast as possible)")
 	wait := flag.Duration("wait", 2*time.Second, "time to wait for subscribers before starting")
 	tps := flag.Float64("tps", 0.5, "synthetic XRP payments per simulated second fed through consensus")
+	streamPages := flag.Bool("stream-pages", false, "attach each validated page's encoding to its ledger-close event (for ripple-serve)")
 	faultDrop := flag.Float64("fault-drop", 0, "probability per write of killing the connection mid-line")
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "probability per write of flipping one bit")
 	faultTruncate := flag.Float64("fault-truncate", 0, "probability per write of truncating the write")
@@ -52,7 +53,7 @@ func main() {
 		TruncateRate: *faultTruncate,
 		Latency:      *faultLatency,
 	}
-	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps, fcfg); err != nil {
+	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps, *streamPages, fcfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippled-sim:", err)
 		os.Exit(1)
 	}
@@ -71,7 +72,7 @@ func periodSpec(name string, rounds int) (consensus.PeriodSpec, error) {
 	}
 }
 
-func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64, fcfg faultnet.Config) error {
+func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64, streamPages bool, fcfg faultnet.Config) error {
 	spec, err := periodSpec(period, rounds)
 	if err != nil {
 		return err
@@ -104,7 +105,7 @@ func run(listen, period string, rounds int, seed int64, delay, wait time.Duratio
 	}
 	fmt.Printf("rippled-sim: %d subscriber(s) connected, starting consensus\n", srv.NumSubscribers())
 
-	cfg := consensus.Config{Seed: seed, StartTime: spec.Start}
+	cfg := consensus.Config{Seed: seed, StartTime: spec.Start, StreamPages: streamPages}
 	net := consensus.NewNetwork(cfg, spec.Specs)
 	net.Subscribe(srv.Publish)
 

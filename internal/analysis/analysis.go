@@ -169,6 +169,65 @@ func (c *Collector) Page(p *ledger.Page) error {
 	return nil
 }
 
+// Merge folds another collector's accumulated statistics into c,
+// leaving other unusable. Every statistic the collector keeps is an
+// order-insensitive sum (counts, histograms) or union (account sets),
+// so merging per-worker collectors from a segment-parallel scan yields
+// exactly the state a single sequential collector would have reached —
+// the property the parallel cmd/ledger-analyze path relies on.
+func (c *Collector) Merge(other *Collector) {
+	c.payments += other.payments
+	c.failed += other.failed
+	c.transacts += other.transacts
+	c.multiHop += other.multiHop
+	c.offersTotal += other.offersTotal
+	c.feesTotal += other.feesTotal
+	for cur, n := range other.byCurrency {
+		c.byCurrency[cur] += n
+	}
+	for cur, h := range other.amounts {
+		mine := c.amounts[cur]
+		if mine == nil {
+			c.amounts[cur] = h
+			continue
+		}
+		mine.merge(h)
+	}
+	c.global.merge(&other.global)
+	for k, v := range other.hopHist {
+		c.hopHist[k] += v
+	}
+	for k, v := range other.parallelHist {
+		c.parallelHist[k] += v
+	}
+	for a, n := range other.intermediary {
+		c.intermediary[a] += n
+	}
+	for a, n := range other.offersByOwner {
+		c.offersByOwner[a] += n
+	}
+	for a := range other.senders {
+		c.senders[a] = struct{}{}
+	}
+	for a := range other.receivers {
+		c.receivers[a] = struct{}{}
+	}
+	for a, f := range other.feesByAccount {
+		c.feesByAccount[a] += f
+	}
+	for k, v := range other.resultCounts {
+		c.resultCounts[k] += v
+	}
+}
+
+// merge adds another histogram's buckets into h.
+func (h *histogram) merge(other *histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.total += other.total
+}
+
 // Payments returns the number of successful payments folded in.
 func (c *Collector) Payments() int64 { return c.payments }
 
@@ -226,6 +285,13 @@ func (c *Collector) Survival(cur amount.Currency, global bool, thresholds []floa
 		out = append(out, SurvivalPoint{Amount: x, Fraction: h.survival(x)})
 	}
 	return out
+}
+
+// FeaturedCurrencies returns the currencies whose survival curves the
+// paper plots in Figure 5, in presentation order. Shared by the batch
+// facade (core.Figure5) and the live serving layer.
+func FeaturedCurrencies() []amount.Currency {
+	return []amount.Currency{amount.BTC, amount.CCK, amount.CNY, amount.EUR, amount.MTL, amount.USD, amount.XRP}
 }
 
 // DefaultSurvivalGrid returns the paper's x-axis: powers of ten from

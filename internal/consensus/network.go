@@ -32,6 +32,11 @@ type Config struct {
 	Seed int64
 	// StartTime anchors the simulated clock.
 	StartTime time.Time
+	// StreamPages attaches the canonical encoding of each validated
+	// page to its EventLedgerClosed event, so stream consumers can
+	// materialize transaction-level views without a separate ledger
+	// fetch path.
+	StreamPages bool
 }
 
 // DefaultConfig returns the production-like parameters.
@@ -78,6 +83,28 @@ type Event struct {
 	Time time.Time `json:"time"`
 	// TxCount is the number of transactions sealed (closes only).
 	TxCount int `json:"tx_count,omitempty"`
+	// PageData is the canonical encoding of the sealed page, attached
+	// to EventLedgerClosed when the network runs with StreamPages —
+	// the rippled "ledger stream with transactions" a live analytics
+	// consumer (internal/serve) materializes views from. Empty for
+	// validation events and metadata-only streams.
+	PageData []byte `json:"page_data,omitempty"`
+}
+
+// Page decodes the sealed page attached to a ledger-close event.
+// It returns (nil, nil) when the event carries no page payload.
+func (ev Event) Page() (*ledger.Page, error) {
+	if len(ev.PageData) == 0 {
+		return nil, nil
+	}
+	p, used, err := ledger.DecodePage(ev.PageData)
+	if err != nil {
+		return nil, err
+	}
+	if used != len(ev.PageData) {
+		return nil, fmt.Errorf("consensus: %d trailing bytes after page %d payload", len(ev.PageData)-used, p.Header.Sequence)
+	}
+	return p, nil
 }
 
 // RoundResult summarizes one consensus round.
@@ -304,13 +331,17 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 	quorum := int(float64(trustedTotal)*n.cfg.ValidationQuorum + 0.999999)
 	validated := trustedTotal > 0 && matching >= quorum
 	if validated {
-		n.emit(Event{
+		ev := Event{
 			Kind:       EventLedgerClosed,
 			Seq:        page.Header.Sequence,
 			LedgerHash: canonical,
 			Time:       n.now,
 			TxCount:    len(page.Txs),
-		})
+		}
+		if n.cfg.StreamPages {
+			ev.PageData = page.Encode(nil)
+		}
+		n.emit(ev)
 	}
 
 	return &RoundResult{

@@ -121,10 +121,33 @@ func (ds *Dataset) Source() replay.Source { return ds.source }
 // opened from disk.
 func (ds *Dataset) GeneratorResult() *synth.Result { return ds.result }
 
-// ecosystem builds (once) the streaming appendix statistics.
+// ecosystem builds (once) the streaming appendix statistics. Store-backed
+// datasets scan segments in parallel at the configured worker count, one
+// private collector per worker, merged at the end — every collector
+// statistic is an order-insensitive sum or union, so the merged result
+// is identical to a sequential scan.
 func (ds *Dataset) ecosystem() (*analysis.Collector, error) {
 	if ds.collector != nil {
 		return ds.collector, nil
+	}
+	workers := ds.workers()
+	if store, ok := ds.source.(*ledgerstore.Store); ok && workers > 1 {
+		cols := make([]*analysis.Collector, workers)
+		for i := range cols {
+			cols[i] = analysis.NewCollector()
+		}
+		err := store.PagesParallel(context.Background(), workers, func(w int, p *ledger.Page) error {
+			return cols[w].Page(p)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: scanning history: %w", err)
+		}
+		c := cols[0]
+		for _, other := range cols[1:] {
+			c.Merge(other)
+		}
+		ds.collector = c
+		return c, nil
 	}
 	c := analysis.NewCollector()
 	if err := ds.source.Pages(c.Page); err != nil {
@@ -334,7 +357,7 @@ func (ds *Dataset) Figure5() ([]Figure5Curve, error) {
 	}
 	grid := analysis.DefaultSurvivalGrid()
 	out := []Figure5Curve{{Label: "Global", Points: c.Survival(amount.Currency{}, true, grid)}}
-	for _, cur := range []amount.Currency{amount.BTC, amount.CCK, amount.CNY, amount.EUR, amount.MTL, amount.USD, amount.XRP} {
+	for _, cur := range analysis.FeaturedCurrencies() {
 		out = append(out, Figure5Curve{Label: cur.String(), Points: c.Survival(cur, false, grid)})
 	}
 	return out, nil

@@ -42,21 +42,30 @@ func newCountTable() *countTable {
 }
 
 // incr bumps fp's saturating counter.
-func (t *countTable) incr(fp Fingerprint) {
+func (t *countTable) incr(fp Fingerprint) { t.incrCount(fp) }
+
+// incrCount bumps fp's saturating counter and returns the count the
+// fingerprint had BEFORE the increment (0 = first sight, 1 = was unique,
+// countSaturated = already saturated). The pre-count lets an incremental
+// consumer maintain a running unique-count in O(1): 0 means "became
+// unique", 1 means "stopped being unique".
+func (t *countTable) incrCount(fp Fingerprint) uint8 {
 	if fp == 0 {
+		prev := t.zeroCount
 		if t.zeroCount < countSaturated {
 			t.zeroCount++
 		}
-		return
+		return prev
 	}
 	i := uint64(fp) & t.mask
 	for {
 		switch t.keys[i] {
 		case fp:
+			prev := t.counts[i]
 			if t.counts[i] < countSaturated {
 				t.counts[i]++
 			}
-			return
+			return prev
 		case 0:
 			t.keys[i] = fp
 			t.counts[i] = 1
@@ -64,10 +73,44 @@ func (t *countTable) incr(fp Fingerprint) {
 			if t.used*countTableLoadDen > len(t.keys)*countTableLoadNum {
 				t.grow()
 			}
-			return
+			return 0
 		}
 		i = (i + 1) & t.mask
 	}
+}
+
+// get returns fp's saturating count (0 = never seen, 1 = unique,
+// countSaturated = seen at least twice). O(1) expected.
+func (t *countTable) get(fp Fingerprint) uint8 {
+	if fp == 0 {
+		return t.zeroCount
+	}
+	i := uint64(fp) & t.mask
+	for {
+		switch t.keys[i] {
+		case fp:
+			return t.counts[i]
+		case 0:
+			return 0
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// clone deep-copies the table — the copy-on-publish step behind the
+// serving layer's epoch snapshots. The copy is two slice memmoves, so a
+// snapshot costs O(capacity) with no rehashing.
+func (t *countTable) clone() *countTable {
+	c := &countTable{
+		keys:      make([]Fingerprint, len(t.keys)),
+		counts:    make([]uint8, len(t.counts)),
+		mask:      t.mask,
+		used:      t.used,
+		zeroCount: t.zeroCount,
+	}
+	copy(c.keys, t.keys)
+	copy(c.counts, t.counts)
+	return c
 }
 
 // grow doubles the table and reinserts every occupied slot.

@@ -1,0 +1,122 @@
+package deanon
+
+// IncStudy is the incrementally-maintained counterpart of Study, built
+// for the live serving layer (internal/serve): payments arrive one page
+// at a time over the lifetime of a long-running process, and both the
+// per-resolution information gain and individual sender-uniqueness
+// lookups must be answerable in O(1) at any point — not only after a
+// closing Results pass.
+//
+// It reuses the batch pipeline's primitives — FeatureEnc encodes each
+// payment once and fingerprints it per resolution, countTable stores
+// 9-byte saturating-counter slots — and adds a running unique-count per
+// resolution, updated from each increment's pre-count transition
+// (0→1 gains a unique fingerprint, 1→2 loses one). Results is therefore
+// O(resolutions) instead of Study's O(distinct fingerprints), and
+// Lookup is a single open-addressed probe.
+//
+// An IncStudy is single-writer and not safe for concurrent use; the
+// serving layer gives each one a dedicated view goroutine and publishes
+// immutable Clones for readers (epoch snapshots).
+type IncStudy struct {
+	resolutions []Resolution
+	tables      []*countTable
+	unique      []int
+	payments    int
+}
+
+// NewIncStudy prepares an incremental study over the given resolutions.
+func NewIncStudy(resolutions []Resolution) *IncStudy {
+	s := &IncStudy{
+		resolutions: append([]Resolution(nil), resolutions...),
+		unique:      make([]int, len(resolutions)),
+	}
+	for range resolutions {
+		s.tables = append(s.tables, newCountTable())
+	}
+	return s
+}
+
+// Observe folds one payment into every resolution's counts, maintaining
+// the running unique-counts. The features are encoded once; each
+// resolution reuses the encoding.
+func (s *IncStudy) Observe(f Features) {
+	s.payments++
+	enc := EncodeFeatures(f)
+	for i := range s.resolutions {
+		switch s.tables[i].incrCount(enc.Fingerprint(s.resolutions[i])) {
+		case 0:
+			s.unique[i]++
+		case 1:
+			s.unique[i]--
+		}
+	}
+}
+
+// Payments returns the number of observations folded in.
+func (s *IncStudy) Payments() int { return s.payments }
+
+// Resolutions returns the study's resolution rows, in order.
+func (s *IncStudy) Resolutions() []Resolution { return s.resolutions }
+
+// Results returns the information gain for every resolution, O(1) per
+// row. The rows are bit-identical to a batch Study fed the same
+// payments in any order.
+func (s *IncStudy) Results() []RowResult {
+	out := make([]RowResult, 0, len(s.resolutions))
+	for i, res := range s.resolutions {
+		ig := 0.0
+		if s.payments > 0 {
+			ig = float64(s.unique[i]) / float64(s.payments)
+		}
+		out = append(out, RowResult{Resolution: res, IG: ig, Unique: s.unique[i], Total: s.payments})
+	}
+	return out
+}
+
+// Lookup returns how many observed payments share the observation's
+// fingerprint at resolution row i, saturating at 2: 0 = never seen,
+// 1 = unique (a successful de-anonymization), 2 = ambiguous. O(1).
+func (s *IncStudy) Lookup(i int, f Features) uint8 {
+	return s.tables[i].get(FingerprintOf(f, s.resolutions[i]))
+}
+
+// LookupFingerprint is Lookup for a precomputed fingerprint.
+func (s *IncStudy) LookupFingerprint(i int, fp Fingerprint) uint8 {
+	return s.tables[i].get(fp)
+}
+
+// DistinctFingerprints reports the number of distinct fingerprints per
+// resolution.
+func (s *IncStudy) DistinctFingerprints() []int {
+	out := make([]int, len(s.resolutions))
+	for i := range s.resolutions {
+		out[i] = s.tables[i].distinct()
+	}
+	return out
+}
+
+// CountBytes reports the resident footprint of the counting tables.
+func (s *IncStudy) CountBytes() int {
+	n := 0
+	for _, t := range s.tables {
+		n += t.bytes()
+	}
+	return n
+}
+
+// Clone deep-copies the study — the copy-on-publish step behind epoch
+// snapshots. The clone is an independent IncStudy; treating it as
+// read-only makes it safe to share across any number of readers while
+// the original keeps ingesting.
+func (s *IncStudy) Clone() *IncStudy {
+	c := &IncStudy{
+		resolutions: s.resolutions,
+		unique:      append([]int(nil), s.unique...),
+		payments:    s.payments,
+	}
+	for _, t := range s.tables {
+		c.tables = append(c.tables, t.clone())
+	}
+	return c
+}

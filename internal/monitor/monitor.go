@@ -142,6 +142,15 @@ func (c *Collector) Report(period string) Report {
 		}
 		stats = append(stats, s)
 	}
+	SortStats(stats)
+	return Report{Period: period, Rounds: len(c.validPages), Validators: stats}
+}
+
+// SortStats orders validator statistics as in the paper's figures: the
+// Ripple Labs validators R1–R5 first, then the rest alphabetically by
+// display label (node ID breaking ties). Shared by the batch Report and
+// the live serving layer's incremental tally view.
+func SortStats(stats []ValidatorStats) {
 	sort.Slice(stats, func(i, j int) bool {
 		ri, rj := isRippleLabs(stats[i].Label), isRippleLabs(stats[j].Label)
 		if ri != rj {
@@ -152,7 +161,6 @@ func (c *Collector) Report(period string) Report {
 		}
 		return stats[i].Node.String() < stats[j].Node.String()
 	})
-	return Report{Period: period, Rounds: len(c.validPages), Validators: stats}
 }
 
 func (c *Collector) displayName(node addr.NodeID) string {

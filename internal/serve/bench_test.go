@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"ripplestudy/internal/deanon"
+	"ripplestudy/internal/ledger"
+)
+
+// benchService returns a warm service with a small history ingested,
+// plus a feature vector from a real payment for lookup benchmarks.
+func benchService(b *testing.B) (*Service, []*ledger.Page, deanon.Features) {
+	b.Helper()
+	pages := genPages(b, 3000, 37)
+	s := NewService(Options{})
+	b.Cleanup(s.Close)
+	for _, p := range pages {
+		if err := s.IngestPage(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	drain(b, s)
+	for _, p := range pages {
+		for i := range p.Txs {
+			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+				return s, pages, f
+			}
+		}
+	}
+	b.Fatal("no observable payment")
+	return nil, nil, deanon.Features{}
+}
+
+// BenchmarkServeIngestPage measures the full ingest fan-out: offer to
+// every page view, applied and periodically published by the workers.
+func BenchmarkServeIngestPage(b *testing.B) {
+	pages := genPages(b, 3000, 37)
+	s := NewService(Options{})
+	b.Cleanup(s.Close)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.IngestPage(pages[i%len(pages)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	drain(b, s)
+}
+
+// BenchmarkServeLookup measures the O(1) point query against a sealed
+// snapshot — the latency a /v1/deanon/lookup request pays after parsing.
+func BenchmarkServeLookup(b *testing.B) {
+	s, _, feat := benchService(b)
+	snap := s.Fingerprints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := snap.Lookup(i%len(snap.Rows), feat); !ok {
+			b.Fatal("lookup rejected")
+		}
+	}
+}
+
+// BenchmarkServeHTTPValidators measures a cached snapshot endpoint
+// end-to-end through the handler (admission, cache, write).
+func BenchmarkServeHTTPValidators(b *testing.B) {
+	s, _, _ := benchService(b)
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/validators", nil))
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeSnapshotPublish measures one copy-on-publish seal of the
+// fingerprint view — the cost amortized across PublishBatch updates.
+func BenchmarkServeSnapshotPublish(b *testing.B) {
+	pages := genPages(b, 3000, 37)
+	st := newFingerprintState()
+	for _, p := range pages {
+		st.apply(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := st.snapshot(uint64(i), 1); snap == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}

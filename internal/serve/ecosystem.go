@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/analysis"
+	"ripplestudy/internal/ledger"
+)
+
+// ecosystemState is the mutable Figures 4–6 view. analysis.Collector is
+// already a streaming accumulator, so the incremental maintenance IS
+// the batch computation — the view work is sealing its derived
+// statistics into immutable snapshots per epoch.
+type ecosystemState struct {
+	col   *analysis.Collector
+	pages uint64
+}
+
+func newEcosystemState() *ecosystemState {
+	return &ecosystemState{col: analysis.NewCollector()}
+}
+
+func (e *ecosystemState) apply(p *ledger.Page) {
+	e.pages++
+	_ = e.col.Page(p) // Collector.Page never fails
+}
+
+// snapshot seals the derived histograms. Every accessor used here
+// (CurrencyHistogram, Survival, HopHistogram, ParallelHistogram,
+// OfferConcentration) copies out of the collector, so the snapshot
+// shares no mutable state with it.
+func (e *ecosystemState) snapshot(epoch, appliedSeq uint64) *EcosystemSnapshot {
+	grid := analysis.DefaultSurvivalGrid()
+	curves := []SurvivalCurve{{Label: "Global", Points: e.col.Survival(amount.Currency{}, true, grid)}}
+	for _, cur := range analysis.FeaturedCurrencies() {
+		curves = append(curves, SurvivalCurve{Label: cur.String(), Points: e.col.Survival(cur, false, grid)})
+	}
+	return &EcosystemSnapshot{
+		Epoch:              epoch,
+		AppliedSeq:         appliedSeq,
+		Pages:              e.pages,
+		Payments:           e.col.Payments(),
+		Failed:             e.col.FailedPayments(),
+		MultiHop:           e.col.MultiHopPayments(),
+		Offers:             e.col.TotalOffers(),
+		ActiveUsers:        e.col.ActiveAccounts(),
+		Currencies:         e.col.CurrencyHistogram(),
+		Survival:           curves,
+		Hops:               e.col.HopHistogram(),
+		Parallel:           e.col.ParallelHistogram(),
+		OfferConcentration: e.col.OfferConcentration([]int{10, 50, 100}),
+	}
+}
+
+// SurvivalCurve is one labelled Figure 5 curve.
+type SurvivalCurve struct {
+	Label  string                   `json:"label"`
+	Points []analysis.SurvivalPoint `json:"points"`
+}
+
+// EcosystemSnapshot is one sealed epoch of the Figures 4–6 view.
+type EcosystemSnapshot struct {
+	// Epoch identifies the publish this snapshot came from.
+	Epoch uint64 `json:"epoch"`
+	// AppliedSeq is the highest ledger sequence folded in.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Pages is the number of pages folded in.
+	Pages uint64 `json:"pages"`
+
+	Payments    int64 `json:"payments"`
+	Failed      int64 `json:"failed"`
+	MultiHop    int64 `json:"multi_hop"`
+	Offers      int64 `json:"offers"`
+	ActiveUsers int   `json:"active_users"`
+
+	// Currencies is Figure 4: currencies by descending payment count.
+	Currencies []analysis.CurrencyCount `json:"currencies"`
+	// Survival is Figure 5: the global curve plus the paper's featured
+	// currencies, sampled on the default grid.
+	Survival []SurvivalCurve `json:"survival"`
+	// Hops and Parallel are Figures 6(a) and 6(b).
+	Hops     map[int]int64 `json:"hops"`
+	Parallel map[int]int64 `json:"parallel"`
+	// OfferConcentration is the appendix market-maker measurement for
+	// k ∈ {10, 50, 100}.
+	OfferConcentration map[int]float64 `json:"offer_concentration"`
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"ripplestudy/internal/deanon"
+	"ripplestudy/internal/ledger"
+)
+
+// fingerprintState is the mutable Figure 3 / Table I view: the
+// fingerprint count tables for the paper's ten resolution tuples,
+// maintained incrementally by a deanon.IncStudy so both the
+// information-gain rows and individual sender-uniqueness lookups are
+// O(1) at any point of the stream.
+type fingerprintState struct {
+	study *deanon.IncStudy
+}
+
+func newFingerprintState() *fingerprintState {
+	return &fingerprintState{study: deanon.NewIncStudy(deanon.Figure3Rows)}
+}
+
+// apply folds one sealed page's successful payments in.
+func (f *fingerprintState) apply(p *ledger.Page) {
+	for i := range p.Txs {
+		if feat, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
+			f.study.Observe(feat)
+		}
+	}
+}
+
+// snapshot seals the study as an immutable FingerprintSnapshot. The
+// count tables are deep-copied (copy-on-publish): two slice copies per
+// resolution, no rehashing. Amortized across PublishBatch pages under
+// load.
+func (f *fingerprintState) snapshot(epoch, appliedSeq uint64) *FingerprintSnapshot {
+	return &FingerprintSnapshot{
+		Epoch:      epoch,
+		AppliedSeq: appliedSeq,
+		Payments:   f.study.Payments(),
+		Rows:       f.study.Results(),
+		study:      f.study.Clone(),
+	}
+}
+
+// FingerprintSnapshot is one sealed epoch of the de-anonymization view.
+type FingerprintSnapshot struct {
+	// Epoch identifies the publish this snapshot came from.
+	Epoch uint64 `json:"epoch"`
+	// AppliedSeq is the highest ledger sequence folded in.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Payments is the number of observable payments fingerprinted.
+	Payments int `json:"payments"`
+	// Rows holds the Figure 3 information-gain rows.
+	Rows []deanon.RowResult `json:"rows"`
+
+	// study is the sealed clone answering lookups; read-only.
+	study *deanon.IncStudy
+}
+
+// Lookup reports how many payments in this snapshot share the
+// observation's fingerprint at Figure 3 resolution row — 0 never seen,
+// 1 unique (the sender is de-anonymized), 2 ambiguous (≥2). O(1).
+func (s *FingerprintSnapshot) Lookup(row int, f deanon.Features) (count uint8, ok bool) {
+	if row < 0 || row >= len(s.Rows) {
+		return 0, false
+	}
+	return s.study.Lookup(row, f), true
+}
+
+// Resolutions returns the snapshot's resolution rows.
+func (s *FingerprintSnapshot) Resolutions() []deanon.Resolution {
+	return s.study.Resolutions()
+}
+
+// CountBytes reports the sealed tables' resident footprint.
+func (s *FingerprintSnapshot) CountBytes() int { return s.study.CountBytes() }

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRecorder keeps a sliding window of per-endpoint request
+// durations and answers quantile queries on scrape. A fixed ring keeps
+// the recording path O(1) and allocation-free after warm-up.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  bool
+	count   uint64
+}
+
+func newLatencyRecorder(window int) *latencyRecorder {
+	if window < 16 {
+		window = 16
+	}
+	return &latencyRecorder{samples: make([]time.Duration, window)}
+}
+
+func (r *latencyRecorder) record(d time.Duration) {
+	r.mu.Lock()
+	r.samples[r.next] = d
+	r.next++
+	if r.next == len(r.samples) {
+		r.next = 0
+		r.filled = true
+	}
+	r.count++
+	r.mu.Unlock()
+}
+
+// quantiles returns the windowed p50/p99 and the lifetime request
+// count. Zero durations are returned when nothing was recorded.
+func (r *latencyRecorder) quantiles() (p50, p99 time.Duration, count uint64) {
+	r.mu.Lock()
+	n := r.next
+	if r.filled {
+		n = len(r.samples)
+	}
+	window := make([]time.Duration, n)
+	copy(window, r.samples[:n])
+	count = r.count
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, count
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return window[(n-1)*50/100], window[(n-1)*99/100], count
+}
+
+// endpointMetrics aggregates one endpoint's query counters.
+type endpointMetrics struct {
+	latency *latencyRecorder
+	mu      sync.Mutex
+	hits    uint64
+}
+
+// metricsSet is the registry behind /metrics: per-endpoint latency plus
+// whatever gauges the service reports at scrape time.
+type metricsSet struct {
+	window int
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetricsSet(window int) *metricsSet {
+	return &metricsSet{window: window, endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *metricsSet) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[name]
+	if e == nil {
+		e = &endpointMetrics{latency: newLatencyRecorder(m.window)}
+		m.endpoints[name] = e
+	}
+	return e
+}
+
+func (e *endpointMetrics) recordCacheHit() {
+	e.mu.Lock()
+	e.hits++
+	e.mu.Unlock()
+}
+
+func (e *endpointMetrics) cacheHitCount() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits
+}
+
+// names returns the registered endpoint names, sorted for stable
+// scrape output.
+func (m *metricsSet) names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeMetrics renders the service's state in Prometheus text
+// exposition format.
+func (s *Service) writeMetrics(w io.Writer) {
+	h := s.Health()
+	fmt.Fprintf(w, "# HELP serve_ingested_events_total Stream events accepted by the ingester.\n")
+	fmt.Fprintf(w, "serve_ingested_events_total %d\n", h.IngestedEvents)
+	fmt.Fprintf(w, "# HELP serve_ingested_pages_total Sealed ledger pages ingested (stream + backfill).\n")
+	fmt.Fprintf(w, "serve_ingested_pages_total %d\n", h.IngestedPages)
+	fmt.Fprintf(w, "# HELP serve_dropped_events_total Events lost: undecodable page payloads plus view-queue overflow drops.\n")
+	fmt.Fprintf(w, "serve_dropped_events_total %d\n", h.DroppedEvents)
+	fmt.Fprintf(w, "# HELP serve_stream_last_seq Highest stream sequence seen from the network.\n")
+	fmt.Fprintf(w, "serve_stream_last_seq %d\n", h.StreamLastSeq)
+	fmt.Fprintf(w, "# HELP serve_ingest_idle_seconds Time since the last ingested event.\n")
+	fmt.Fprintf(w, "serve_ingest_idle_seconds %.3f\n", h.IngestIdle.Seconds())
+
+	fmt.Fprintf(w, "# HELP serve_view_epoch Snapshot epoch of each materialized view.\n")
+	for _, v := range h.Views {
+		fmt.Fprintf(w, "serve_view_epoch{view=%q} %d\n", v.Name, v.Epoch)
+	}
+	fmt.Fprintf(w, "# HELP serve_view_applied_seq Highest ledger sequence applied to each view.\n")
+	for _, v := range h.Views {
+		fmt.Fprintf(w, "serve_view_applied_seq{view=%q} %d\n", v.Name, v.AppliedSeq)
+	}
+	fmt.Fprintf(w, "# HELP serve_view_applied_events_total Updates applied to each view.\n")
+	for _, v := range h.Views {
+		fmt.Fprintf(w, "serve_view_applied_events_total{view=%q} %d\n", v.Name, v.AppliedEvents)
+	}
+	fmt.Fprintf(w, "# HELP serve_view_ingest_lag_events Updates offered to the view but not yet applied.\n")
+	for _, v := range h.Views {
+		fmt.Fprintf(w, "serve_view_ingest_lag_events{view=%q} %d\n", v.Name, v.Lag)
+	}
+	fmt.Fprintf(w, "# HELP serve_view_dropped_events_total Updates dropped at the view inbox (non-blocking mode).\n")
+	for _, v := range h.Views {
+		fmt.Fprintf(w, "serve_view_dropped_events_total{view=%q} %d\n", v.Name, v.Dropped)
+	}
+
+	fmt.Fprintf(w, "# HELP serve_http_inflight In-flight HTTP requests.\n")
+	fmt.Fprintf(w, "serve_http_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# HELP serve_http_rejected_total Requests shed by the admission limiter.\n")
+	fmt.Fprintf(w, "serve_http_rejected_total %d\n", s.rejected.Load())
+
+	fmt.Fprintf(w, "# HELP serve_query_total Queries served per endpoint.\n")
+	fmt.Fprintf(w, "# HELP serve_query_cache_hits_total Responses served from the epoch-keyed cache.\n")
+	fmt.Fprintf(w, "# HELP serve_query_latency_seconds Windowed query latency quantiles per endpoint.\n")
+	for _, name := range s.metrics.names() {
+		e := s.metrics.endpoint(name)
+		p50, p99, count := e.latency.quantiles()
+		fmt.Fprintf(w, "serve_query_total{endpoint=%q} %d\n", name, count)
+		fmt.Fprintf(w, "serve_query_cache_hits_total{endpoint=%q} %d\n", name, e.cacheHitCount())
+		fmt.Fprintf(w, "serve_query_latency_seconds{endpoint=%q,quantile=\"0.5\"} %.6f\n", name, p50.Seconds())
+		fmt.Fprintf(w, "serve_query_latency_seconds{endpoint=%q,quantile=\"0.99\"} %.6f\n", name, p99.Seconds())
+	}
+}

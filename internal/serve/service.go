@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/ledgerstore"
+	"ripplestudy/internal/netstream"
+	"ripplestudy/internal/replay"
+)
+
+// Options tunes a Service. The zero value picks defaults suitable for
+// tests and laptop-scale serving.
+type Options struct {
+	// QueueSize bounds each view's inbox (default 1024).
+	QueueSize int
+	// PublishBatch is the most updates a view applies between epoch
+	// publishes; a view also publishes whenever its inbox runs dry
+	// (default 64).
+	PublishBatch int
+	// NonBlocking switches ingest fan-out from backpressure (lossless;
+	// the differential-test configuration) to drop-on-full
+	// (load-shedding, counted per view and in DroppedEvents).
+	NonBlocking bool
+	// MaxConcurrent bounds in-flight HTTP requests (default 64).
+	MaxConcurrent int
+	// AdmitWait is how long a request waits for an admission slot
+	// before being shed with 503 (default 2s).
+	AdmitWait time.Duration
+	// LatencyWindow is the per-endpoint latency sample window behind
+	// the /metrics quantiles (default 512).
+	LatencyWindow int
+	// ValidatorLabels maps node IDs to display labels (domains) for the
+	// Figure 2 view, like monitor.Collector.SetLabel.
+	ValidatorLabels map[addr.NodeID]string
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.PublishBatch <= 0 {
+		o.PublishBatch = 64
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.AdmitWait <= 0 {
+		o.AdmitWait = 2 * time.Second
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 512
+	}
+	return o
+}
+
+// ErrClosed is returned by ingest entry points after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// Service is the live query-serving layer: one ingestion front door
+// fanning out to single-writer materialized views, plus the query
+// surface (snapshot accessors and the HTTP API in http.go).
+type Service struct {
+	opts    Options
+	metrics *metricsSet
+
+	tallyW *viewWorker
+	fpW    *viewWorker
+	ecoW   *viewWorker
+	views  []*viewWorker
+
+	tallySnap atomic.Pointer[TallySnapshot]
+	fpSnap    atomic.Pointer[FingerprintSnapshot]
+	ecoSnap   atomic.Pointer[EcosystemSnapshot]
+
+	ingestedEvents atomic.Uint64
+	ingestedPages  atomic.Uint64
+	undecodable    atomic.Uint64
+	streamLastSeq  atomic.Uint64
+	lastIngestNano atomic.Int64
+
+	inflight atomic.Int64
+	rejected atomic.Uint64
+	admit    chan struct{}
+
+	mu     sync.RWMutex // guards closed against in-flight ingests
+	closed bool
+}
+
+// NewService builds the views and starts their writer goroutines.
+func NewService(opts Options) *Service {
+	opts = opts.withDefaults()
+	s := &Service{
+		opts:    opts,
+		metrics: newMetricsSet(opts.LatencyWindow),
+		admit:   make(chan struct{}, opts.MaxConcurrent),
+	}
+
+	tally := newTallyState(opts.ValidatorLabels)
+	s.tallyW = newViewWorker("fig2_tally", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
+		func(u update) { tally.apply(u.ev) },
+		func(epoch uint64) { s.tallySnap.Store(tally.snapshot(epoch, seqOf(s.tallyW))) })
+
+	fp := newFingerprintState()
+	s.fpW = newViewWorker("fig3_fingerprints", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
+		func(u update) { fp.apply(u.page) },
+		func(epoch uint64) { s.fpSnap.Store(fp.snapshot(epoch, seqOf(s.fpW))) })
+
+	eco := newEcosystemState()
+	s.ecoW = newViewWorker("fig4to6_ecosystem", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
+		func(u update) { eco.apply(u.page) },
+		func(epoch uint64) { s.ecoSnap.Store(eco.snapshot(epoch, seqOf(s.ecoW))) })
+
+	s.views = []*viewWorker{s.tallyW, s.fpW, s.ecoW}
+	return s
+}
+
+// seqOf reads a worker's applied ledger sequence, tolerating the
+// bootstrap publish that runs before the worker pointer is assigned.
+func seqOf(w *viewWorker) uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.appliedSeq.Load()
+}
+
+// IngestEvent folds one validation-stream event into the views: every
+// well-formed event feeds the Figure 2 tally, and ledger-close events
+// carrying a page payload feed the page views. An undecodable page
+// payload is quarantined (counted in DroppedEvents) without losing the
+// close event itself.
+func (s *Service) IngestEvent(ev consensus.Event) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.noteIngest(ev.StreamSeq)
+	s.ingestedEvents.Add(1)
+
+	var page *ledger.Page
+	if ev.Kind == consensus.EventLedgerClosed && len(ev.PageData) > 0 {
+		p, err := ev.Page()
+		if err != nil {
+			s.undecodable.Add(1)
+		} else {
+			page = p
+		}
+	}
+	u := update{ev: ev, page: page}
+	s.tallyW.offer(u)
+	if page != nil {
+		s.ingestedPages.Add(1)
+		s.fpW.offer(u)
+		s.ecoW.offer(u)
+	}
+	return nil
+}
+
+// IngestPage folds one sealed page into the page views — the backfill
+// path (no validation events, so the Figure 2 view is untouched).
+func (s *Service) IngestPage(p *ledger.Page) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.noteIngest(0)
+	s.ingestedPages.Add(1)
+	u := update{page: p}
+	s.fpW.offer(u)
+	s.ecoW.offer(u)
+	return nil
+}
+
+func (s *Service) noteIngest(streamSeq uint64) {
+	s.lastIngestNano.Store(time.Now().UnixNano())
+	if streamSeq > 0 {
+		for {
+			cur := s.streamLastSeq.Load()
+			if streamSeq <= cur || s.streamLastSeq.CompareAndSwap(cur, streamSeq) {
+				return
+			}
+		}
+	}
+}
+
+// Backfill streams a closed history into the page views, in order.
+func (s *Service) Backfill(ctx context.Context, src replay.Source) error {
+	return src.Pages(func(p *ledger.Page) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return s.IngestPage(p)
+	})
+}
+
+// BackfillStore is Backfill over a ledgerstore with segment-parallel
+// decoding: up to workers goroutines decode pages concurrently and feed
+// the views' inboxes. Pages interleave across segments, but every view
+// statistic is order-insensitive, so the result is identical to a
+// sequential backfill.
+func (s *Service) BackfillStore(ctx context.Context, store *ledgerstore.Store, workers int) error {
+	return store.PagesParallel(ctx, workers, func(_ int, p *ledger.Page) error {
+		return s.IngestPage(p)
+	})
+}
+
+// Follow subscribes to a live validation stream through a
+// netstream.ResilientClient and ingests every event until the context
+// is cancelled or the stream ends. It returns the client's final
+// counters alongside any terminal error.
+func (s *Service) Follow(ctx context.Context, addr string, opts netstream.ResilientOptions) (netstream.ClientStats, error) {
+	client := netstream.NewResilientClient(addr, opts)
+	err := client.Run(ctx, func(ev consensus.Event) error {
+		if ierr := s.IngestEvent(ev); ierr != nil {
+			return netstream.ErrStop
+		}
+		return nil
+	})
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return client.Stats(), err
+}
+
+// Tally returns the current Figure 2 snapshot.
+func (s *Service) Tally() *TallySnapshot { return s.tallySnap.Load() }
+
+// Fingerprints returns the current Figure 3 / lookup snapshot.
+func (s *Service) Fingerprints() *FingerprintSnapshot { return s.fpSnap.Load() }
+
+// Ecosystem returns the current Figures 4–6 snapshot.
+func (s *Service) Ecosystem() *EcosystemSnapshot { return s.ecoSnap.Load() }
+
+// ViewHealth is one view's ingestion status.
+type ViewHealth struct {
+	Name          string `json:"name"`
+	Epoch         uint64 `json:"epoch"`
+	AppliedSeq    uint64 `json:"applied_seq"`
+	AppliedEvents uint64 `json:"applied_events"`
+	Lag           uint64 `json:"ingest_lag_events"`
+	Dropped       uint64 `json:"dropped_events"`
+}
+
+// HealthReport summarizes the service for /healthz.
+type HealthReport struct {
+	Status         string        `json:"status"`
+	IngestedEvents uint64        `json:"ingested_events"`
+	IngestedPages  uint64        `json:"ingested_pages"`
+	DroppedEvents  uint64        `json:"dropped_events"`
+	StreamLastSeq  uint64        `json:"stream_last_seq"`
+	IngestIdle     time.Duration `json:"ingest_idle_ns"`
+	Views          []ViewHealth  `json:"views"`
+}
+
+// Health reports the service's ingestion state. Status is "ok" while
+// nothing has been dropped, "degraded" otherwise.
+func (s *Service) Health() HealthReport {
+	h := HealthReport{
+		Status:         "ok",
+		IngestedEvents: s.ingestedEvents.Load(),
+		IngestedPages:  s.ingestedPages.Load(),
+		StreamLastSeq:  s.streamLastSeq.Load(),
+	}
+	if last := s.lastIngestNano.Load(); last > 0 {
+		h.IngestIdle = time.Since(time.Unix(0, last))
+	}
+	dropped := s.undecodable.Load()
+	for _, w := range s.views {
+		dropped += w.dropped.Load()
+		h.Views = append(h.Views, ViewHealth{
+			Name:          w.name,
+			Epoch:         w.epoch.Load(),
+			AppliedSeq:    w.appliedSeq.Load(),
+			AppliedEvents: w.applied.Load(),
+			Lag:           w.lag(),
+			Dropped:       w.dropped.Load(),
+		})
+	}
+	h.DroppedEvents = dropped
+	if dropped > 0 {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Drain blocks until every view has applied everything offered so far
+// and published it, or the context expires — the barrier differential
+// tests and graceful shutdown use. Ingestion may continue concurrently;
+// Drain only guarantees the offers that happened before the call are
+// visible.
+func (s *Service) Drain(ctx context.Context) error {
+	target := make([]uint64, len(s.views))
+	for i, w := range s.views {
+		target[i] = w.offered.Load()
+	}
+	for {
+		done := true
+		for i, w := range s.views {
+			// Sealed (published) plus dropped must cover everything
+			// offered before the call; dropped updates never publish.
+			if w.sealed.Load()+w.dropped.Load() < target[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close stops ingestion, drains every view inbox, publishes the final
+// epochs, and stops the writer goroutines. Queries keep working against
+// the final snapshots afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, w := range s.views {
+		w.close()
+	}
+}

@@ -1,0 +1,166 @@
+// Package serve is the live query-serving layer: it ingests closed
+// ledger pages and validation events as they happen — from a
+// netstream.ResilientClient subscription, a ledgerstore backfill, or
+// both — incrementally maintains the materialized views behind the
+// paper's figures (per-validator tallies for Fig. 2, the fingerprint
+// count tables for Fig. 3 and sender-uniqueness lookups, the ecosystem
+// histograms for Figs. 4–6), and answers queries from immutable epoch
+// snapshots over an HTTP JSON API (cmd/ripple-serve).
+//
+// Concurrency model: every view is owned by exactly one writer
+// goroutine fed over a bounded channel (single-writer principle — the
+// view's mutable state needs no locks). Readers never touch mutable
+// state: each publish seals an immutable copy-on-publish snapshot
+// behind an atomic pointer and bumps the view's epoch, so queries never
+// block ingestion and ingestion never blocks queries. Publishes happen
+// whenever a view's inbox runs dry (fresh epochs under light load) and
+// at least every PublishBatch updates (amortized snapshot cost under
+// heavy load).
+package serve
+
+import (
+	"sync/atomic"
+
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledger"
+)
+
+// update is one unit of ingest work fanned out to the views: a stream
+// event (validation or ledger close), a decoded sealed page, or both.
+// Backfilled pages carry no event.
+type update struct {
+	ev   consensus.Event
+	page *ledger.Page
+}
+
+// viewWorker is the single-writer machinery shared by all views: a
+// bounded inbox drained by one goroutine that applies updates to the
+// view's private state and publishes immutable snapshots.
+type viewWorker struct {
+	name    string
+	in      chan update
+	apply   func(update)
+	publish func(epoch uint64)
+	batch   int
+	block   bool
+
+	epoch      atomic.Uint64
+	offered    atomic.Uint64
+	applied    atomic.Uint64
+	dropped    atomic.Uint64
+	sealed     atomic.Uint64 // applied updates covered by the latest publish
+	appliedSeq atomic.Uint64 // highest ledger sequence applied
+	streamSeq  atomic.Uint64 // highest stream sequence applied
+
+	done chan struct{}
+}
+
+// newViewWorker starts a view. publish(0) is called synchronously before
+// any update so queries always find a (possibly empty) snapshot.
+func newViewWorker(name string, queue, batch int, block bool, apply func(update), publish func(epoch uint64)) *viewWorker {
+	if queue < 1 {
+		queue = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	w := &viewWorker{
+		name:    name,
+		in:      make(chan update, queue),
+		apply:   apply,
+		publish: publish,
+		batch:   batch,
+		block:   block,
+		done:    make(chan struct{}),
+	}
+	w.publish(0)
+	go w.run()
+	return w
+}
+
+func (w *viewWorker) run() {
+	defer close(w.done)
+	sinceLast := 0
+	seal := func() {
+		if sinceLast == 0 {
+			return
+		}
+		w.publish(w.epoch.Add(1))
+		// Published; everything applied so far is now visible to readers.
+		w.sealed.Store(w.applied.Load())
+		sinceLast = 0
+	}
+	for {
+		var u update
+		var ok bool
+		select {
+		case u, ok = <-w.in:
+		default:
+			// Inbox dry: seal what has accumulated, then wait.
+			seal()
+			u, ok = <-w.in
+		}
+		if !ok {
+			// Shutdown: everything offered has been applied; seal the
+			// final epoch so the last snapshot reflects the full ingest.
+			seal()
+			return
+		}
+		w.apply(u)
+		if u.page != nil {
+			w.bumpSeq(&w.appliedSeq, u.page.Header.Sequence)
+		} else if u.ev.Seq > 0 {
+			w.bumpSeq(&w.appliedSeq, u.ev.Seq)
+		}
+		if u.ev.StreamSeq > 0 {
+			w.bumpSeq(&w.streamSeq, u.ev.StreamSeq)
+		}
+		w.applied.Add(1)
+		sinceLast++
+		if sinceLast >= w.batch {
+			seal()
+		}
+	}
+}
+
+// bumpSeq raises a monotonic gauge to at least v. Only the worker
+// goroutine writes it, but parallel backfills interleave segments, so
+// "highest seen" — not "last seen" — is the meaningful value.
+func (w *viewWorker) bumpSeq(g *atomic.Uint64, v uint64) {
+	if v > g.Load() {
+		g.Store(v)
+	}
+}
+
+// offer hands an update to the view. Blocking mode applies backpressure
+// (lossless, the differential-test configuration); non-blocking mode
+// drops and counts when the inbox is full (load-shedding for live
+// serving where falling behind the stream is worse than a coarser
+// view).
+func (w *viewWorker) offer(u update) bool {
+	w.offered.Add(1)
+	if w.block {
+		w.in <- u
+		return true
+	}
+	select {
+	case w.in <- u:
+		return true
+	default:
+		w.dropped.Add(1)
+		return false
+	}
+}
+
+// lag reports updates offered but not yet applied (nor dropped) — the
+// view's ingest backlog.
+func (w *viewWorker) lag() uint64 {
+	return w.offered.Load() - w.applied.Load() - w.dropped.Load()
+}
+
+// close drains the inbox, publishes the final epoch, and waits for the
+// worker to exit. The caller must guarantee no concurrent offer.
+func (w *viewWorker) close() {
+	close(w.in)
+	<-w.done
+}
