@@ -17,7 +17,7 @@ test:
 # sharded de-anonymization pipeline (PagesParallel + ParallelStudy), and
 # the live serving layer (concurrent queries against ingestion).
 race:
-	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/...
+	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/... ./internal/replay/...
 
 # Perf trajectory: run the Figure 3 pipeline and store benchmarks with
 # allocation stats and archive them as JSON so future PRs can diff
@@ -32,6 +32,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve | tee bench_serve.out
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json < bench_serve.out
 	@echo "wrote BENCH_serve.json"
+	$(GO) test -run '^$$' -bench 'Table2Replay|Pathfind' -benchmem . | tee bench_replay.out
+	$(GO) run ./cmd/benchjson -out BENCH_replay.json < bench_replay.out
+	@echo "wrote BENCH_replay.json"
 
 # Short chaos pass: fault injection, resilience, and the degraded-stream
 # integration test.

@@ -288,6 +288,15 @@ func tableII(ds *core.Dataset) error {
 	fmt.Printf("%-16s %10d %10d %13.1f%%\n", "Single-currency", res.Single.Submitted, res.Single.Delivered, 100*res.Single.Rate())
 	total := res.Total()
 	fmt.Printf("%-16s %10d %10d %13.1f%%\n", "Total", total.Submitted, total.Delivered, 100*total.Rate())
+	if st := res.Stats; st.Workers > 0 {
+		planned := st.PlannedAhead + st.Conflicts
+		rate := 0.0
+		if planned > 0 {
+			rate = float64(st.Conflicts) / float64(planned)
+		}
+		fmt.Printf("(optimistic replay: %d workers, %d batches, %d planned ahead, %d conflicts = %.1f%% re-planned)\n",
+			st.Workers, st.Batches, st.PlannedAhead, st.Conflicts, 100*rate)
+	}
 	return nil
 }
 

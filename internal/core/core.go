@@ -157,8 +157,19 @@ func (ds *Dataset) ecosystem() (*analysis.Collector, error) {
 	return c, nil
 }
 
-// lastSeq returns the final page sequence of the history.
+// lastSeq returns the final page sequence of the history. Sources with
+// a sequence index (ledgerstore.Store) answer without scanning.
 func (ds *Dataset) lastSeq() (uint64, error) {
+	if ls, ok := ds.source.(interface{ LastSeq() (uint64, bool, error) }); ok {
+		seq, has, err := ls.LastSeq()
+		if err != nil {
+			return 0, err
+		}
+		if has {
+			return seq, nil
+		}
+		return 0, nil
+	}
 	var last uint64
 	err := ds.source.Pages(func(p *ledger.Page) error {
 		last = p.Header.Sequence
@@ -429,7 +440,9 @@ func (ds *Dataset) TableII(snapshotFraction float64) (*replay.Result, error) {
 	if snap < 1 {
 		snap = 1
 	}
-	return replay.Run(ds.source, snap)
+	// Optimistic-parallel replay is pinned bit-identical to replay.Run by
+	// the differential tests, so the experiment can always take it.
+	return replay.RunParallel(ds.source, snap, ds.workers())
 }
 
 // Mitigation runs the §V wallet-splitting countermeasure study over the

@@ -39,11 +39,13 @@ func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker i
 		workers = len(segs)
 	}
 	if workers <= 1 {
+		var buf []byte
 		for _, seg := range segs {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := streamSegment(seg, func(p *ledger.Page) error {
+			var err error
+			if buf, err = streamSegmentBuf(seg, buf, func(p *ledger.Page) error {
 				return fn(0, p)
 			}); err != nil {
 				return err
@@ -72,8 +74,13 @@ func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// One decode buffer per worker, reused across all the
+			// segments the worker pulls — the frame reader grows it
+			// geometrically and never gives it back.
+			var buf []byte
 			for seg := range work {
-				err := streamSegment(seg, func(p *ledger.Page) error {
+				var err error
+				buf, err = streamSegmentBuf(seg, buf, func(p *ledger.Page) error {
 					if err := ctx.Err(); err != nil {
 						return err
 					}

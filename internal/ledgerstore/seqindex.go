@@ -1,0 +1,194 @@
+package ledgerstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ripplestudy/internal/ledger"
+)
+
+// SeqIndexFile is the name of the segment sequence index sidecar kept
+// next to the segment files. It maps each segment to the ledger
+// sequence range it covers, so range reads (replay from a snapshot,
+// LastSeq probes) open only the segments that matter instead of
+// scanning the whole store.
+//
+// The sidecar is JSON — one entry per segment with the file's base
+// name, its size in bytes when indexed, its page count, and the
+// min/max header sequence it contains. An entry is trusted only if the
+// segment's current size matches the recorded size; stale or missing
+// entries are rebuilt by scanning just that segment, and the sidecar
+// is rewritten. The store never *requires* the sidecar: deleting it
+// merely costs one full rebuild scan.
+const SeqIndexFile = "seqindex.json"
+
+// SegmentRange describes one segment's coverage in the sequence index.
+type SegmentRange struct {
+	File   string `json:"file"`  // base name, e.g. "segment-000001.rlst"
+	Bytes  int64  `json:"bytes"` // segment size when indexed (staleness check)
+	Pages  int    `json:"pages"`
+	MinSeq uint64 `json:"min_seq"`
+	MaxSeq uint64 `json:"max_seq"`
+}
+
+type seqIndexDoc struct {
+	Segments []SegmentRange `json:"segments"`
+}
+
+func loadSeqIndex(dir string) map[string]SegmentRange {
+	data, err := os.ReadFile(filepath.Join(dir, SeqIndexFile))
+	if err != nil {
+		return nil
+	}
+	var doc seqIndexDoc
+	if json.Unmarshal(data, &doc) != nil {
+		return nil // malformed sidecar: rebuild from scratch
+	}
+	byFile := make(map[string]SegmentRange, len(doc.Segments))
+	for _, sr := range doc.Segments {
+		byFile[sr.File] = sr
+	}
+	return byFile
+}
+
+func saveSeqIndex(dir string, ranges []SegmentRange) {
+	doc := seqIndexDoc{Segments: ranges}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return
+	}
+	// Best-effort: a read-only store directory just loses the cache.
+	tmp := filepath.Join(dir, SeqIndexFile+".tmp")
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	if os.Rename(tmp, filepath.Join(dir, SeqIndexFile)) != nil {
+		os.Remove(tmp)
+	}
+}
+
+// scanSegmentRange builds a segment's index entry by streaming it once.
+func scanSegmentRange(path string, size int64) (SegmentRange, error) {
+	sr := SegmentRange{File: filepath.Base(path), Bytes: size}
+	err := streamSegment(path, func(p *ledger.Page) error {
+		seq := p.Header.Sequence
+		if sr.Pages == 0 {
+			sr.MinSeq, sr.MaxSeq = seq, seq
+		} else {
+			if seq < sr.MinSeq {
+				sr.MinSeq = seq
+			}
+			if seq > sr.MaxSeq {
+				sr.MaxSeq = seq
+			}
+		}
+		sr.Pages++
+		return nil
+	})
+	return sr, err
+}
+
+// SegmentRanges returns the per-segment sequence coverage, in segment
+// order, rebuilding any sidecar entries that are missing or stale and
+// persisting the refreshed sidecar. The open segment (if any) is
+// flushed first so the index reflects every appended page.
+func (s *Store) SegmentRanges() ([]SegmentRange, error) {
+	if err := s.closeCurrent(); err != nil {
+		return nil, err
+	}
+	segs, err := segmentFiles(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	cached := loadSeqIndex(s.dir)
+	ranges := make([]SegmentRange, 0, len(segs))
+	dirty := false
+	for _, seg := range segs {
+		info, err := os.Stat(seg)
+		if err != nil {
+			return nil, fmt.Errorf("ledgerstore: stat %s: %w", seg, err)
+		}
+		base := filepath.Base(seg)
+		if sr, ok := cached[base]; ok && sr.Bytes == info.Size() {
+			ranges = append(ranges, sr)
+			continue
+		}
+		sr, err := scanSegmentRange(seg, info.Size())
+		if err != nil {
+			return nil, err
+		}
+		ranges = append(ranges, sr)
+		dirty = true
+	}
+	if dirty || len(cached) != len(segs) {
+		saveSeqIndex(s.dir, ranges)
+	}
+	return ranges, nil
+}
+
+// LastSeq returns the highest ledger sequence stored. ok is false for a
+// store with no pages. With a warm sidecar this costs one JSON read and
+// a stat per segment, not a history scan.
+func (s *Store) LastSeq() (seq uint64, ok bool, err error) {
+	ranges, err := s.SegmentRanges()
+	if err != nil {
+		return 0, false, err
+	}
+	for _, sr := range ranges {
+		if sr.Pages == 0 {
+			continue
+		}
+		if !ok || sr.MaxSeq > seq {
+			seq, ok = sr.MaxSeq, true
+		}
+	}
+	return seq, ok, nil
+}
+
+// errStopSegment stops the in-segment page loop early once the range's
+// upper bound has been passed.
+var errStopSegment = errors.New("ledgerstore: past range")
+
+// PagesRange streams, in append order, every page whose header sequence
+// lies in [lo, hi] (inclusive). Segments entirely outside the range are
+// never opened — the point of the sequence index: replaying from a 70%
+// snapshot touches ~30% of the store. fn's errors propagate as in
+// Pages; ErrStop stops cleanly.
+func (s *Store) PagesRange(lo, hi uint64, fn func(*ledger.Page) error) error {
+	if hi < lo {
+		return nil
+	}
+	ranges, err := s.SegmentRanges()
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, sr := range ranges {
+		if sr.Pages == 0 || sr.MaxSeq < lo || sr.MinSeq > hi {
+			continue
+		}
+		path := filepath.Join(s.dir, sr.File)
+		buf, err = streamSegmentBuf(path, buf, func(p *ledger.Page) error {
+			seq := p.Header.Sequence
+			if seq < lo {
+				return nil
+			}
+			if seq > hi {
+				// Pages append in ledger order, so nothing later in this
+				// segment can be in range.
+				return errStopSegment
+			}
+			return fn(p)
+		})
+		if errors.Is(err, errStopSegment) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -194,8 +194,9 @@ func (s *Store) Pages(fn func(*ledger.Page) error) error {
 	if err != nil {
 		return err
 	}
+	var buf []byte
 	for _, seg := range segs {
-		if err := streamSegment(seg, fn); err != nil {
+		if buf, err = streamSegmentBuf(seg, buf, fn); err != nil {
 			return err
 		}
 	}
@@ -203,56 +204,69 @@ func (s *Store) Pages(fn func(*ledger.Page) error) error {
 }
 
 func streamSegment(path string, fn func(*ledger.Page) error) error {
+	_, err := streamSegmentBuf(path, nil, fn)
+	return err
+}
+
+// streamSegmentBuf is streamSegment with a caller-provided payload
+// buffer, returned (possibly grown) so callers can reuse it across
+// segments. Growth is geometric: a record slightly larger than every
+// predecessor costs one reallocation, not a fresh exact-size allocation
+// per escalation.
+func streamSegmentBuf(path string, payload []byte, fn func(*ledger.Page) error) ([]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("ledgerstore: opening %s: %w", path, err)
+		return payload, fmt.Errorf("ledgerstore: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	var lenBuf [4]byte
-	var payload []byte
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			if err == io.EOF {
-				return nil
+				return payload, nil
 			}
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // truncated tail: tolerate
+				return payload, nil // truncated tail: tolerate
 			}
-			return fmt.Errorf("ledgerstore: reading %s: %w", path, err)
+			return payload, fmt.Errorf("ledgerstore: reading %s: %w", path, err)
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
 		if n > maxRecordBytes {
-			return fmt.Errorf("%w: record claims %d bytes in %s", ErrCorrupted, n, path)
+			return payload, fmt.Errorf("%w: record claims %d bytes in %s", ErrCorrupted, n, path)
 		}
 		if cap(payload) < int(n) {
-			payload = make([]byte, n)
+			grown := cap(payload) * 2
+			if grown < int(n) {
+				grown = int(n)
+			}
+			payload = make([]byte, grown)
 		}
 		payload = payload[:n]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // truncated tail
+				return payload, nil // truncated tail
 			}
-			return fmt.Errorf("ledgerstore: reading %s: %w", path, err)
+			return payload, fmt.Errorf("ledgerstore: reading %s: %w", path, err)
 		}
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // truncated tail
+				return payload, nil // truncated tail
 			}
-			return fmt.Errorf("ledgerstore: reading %s: %w", path, err)
+			return payload, fmt.Errorf("ledgerstore: reading %s: %w", path, err)
 		}
 		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(lenBuf[:]) {
-			return fmt.Errorf("%w in %s", ErrCorrupted, path)
+			return payload, fmt.Errorf("%w in %s", ErrCorrupted, path)
 		}
 		page, used, err := ledger.DecodePage(payload)
 		if err != nil {
-			return fmt.Errorf("ledgerstore: decoding page in %s: %w", path, err)
+			return payload, fmt.Errorf("ledgerstore: decoding page in %s: %w", path, err)
 		}
 		if used != len(payload) {
-			return fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupted, len(payload)-used)
+			return payload, fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupted, len(payload)-used)
 		}
 		if err := fn(page); err != nil {
-			return err
+			return payload, err
 		}
 	}
 }

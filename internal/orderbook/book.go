@@ -10,6 +10,11 @@
 // per unit received — best (lowest) first. Consumption is two-phase:
 // Quote computes fills without mutating, Apply commits them, which gives
 // the payment engine atomicity across multi-step executions.
+//
+// Quality is memoized when an offer is placed (and refreshed after
+// partial fills), so quoting never re-divides amounts on the hot path,
+// and a placed Books set can be read concurrently as long as nobody
+// mutates it.
 package orderbook
 
 import (
@@ -28,16 +33,36 @@ type Offer struct {
 	Seq   uint32 // the OfferCreate transaction's sequence, identifies the offer
 	Pays  amount.Amount
 	Gets  amount.Amount
+
+	// quality memoizes Pays/Gets for placed offers. It is written only
+	// under Books mutation (Place / Apply), never lazily on reads, so
+	// concurrent readers of an unmutated book set never race.
+	quality    amount.Value
+	hasQuality bool
 }
 
 // Quality returns the taker's price: Pays per unit of Gets. Lower is
-// better for the taker.
+// better for the taker. For placed offers this is a memoized field read.
 func (o *Offer) Quality() amount.Value {
+	if o.hasQuality {
+		return o.quality
+	}
+	return o.computeQuality()
+}
+
+func (o *Offer) computeQuality() amount.Value {
 	q, err := o.Pays.Value.Div(o.Gets.Value)
 	if err != nil {
 		return amount.Zero // malformed offers sort first and are rejected at Place
 	}
 	return q
+}
+
+// memoQuality (re)derives the memoized quality from the current amounts.
+// Called only while the book set is being mutated.
+func (o *Offer) memoQuality() {
+	o.quality = o.computeQuality()
+	o.hasQuality = true
 }
 
 // Pair identifies a book: takers pay Pays currency and receive Gets
@@ -90,9 +115,10 @@ func (b *Books) Place(o *Offer) error {
 		bk = &book{}
 		b.byPair[pair] = bk
 	}
-	q := o.Quality()
+	o.memoQuality()
+	q := o.quality
 	idx := sort.Search(len(bk.offers), func(i int) bool {
-		return bk.offers[i].Quality().Cmp(q) > 0
+		return bk.offers[i].quality.Cmp(q) > 0
 	})
 	bk.offers = append(bk.offers, nil)
 	copy(bk.offers[idx+1:], bk.offers[idx:])
@@ -144,6 +170,24 @@ func (b *Books) Best(pair Pair) *Offer {
 	return bk.offers[0]
 }
 
+// BestQuality returns the memoized quality of the best offer in the
+// pair's book. ok is false when the book is empty. This is the O(1)
+// "is this bridge even worth probing" check.
+func (b *Books) BestQuality(pair Pair) (q amount.Value, ok bool) {
+	bk := b.byPair[pair]
+	if bk == nil || len(bk.offers) == 0 {
+		return amount.Zero, false
+	}
+	return bk.offers[0].quality, true
+}
+
+// Lookup returns the standing offer identified by (owner, seq), or nil.
+// Replay uses it to remap fills planned against a snapshot onto the
+// live book set's offers.
+func (b *Books) Lookup(owner addr.AccountID, seq uint32) *Offer {
+	return b.byOwner[owner][seq]
+}
+
 // Depth returns the number of standing offers in the pair's book.
 func (b *Books) Depth(pair Pair) int {
 	bk := b.byPair[pair]
@@ -177,13 +221,28 @@ type Quote struct {
 // up to wantGets of the pair's Gets currency, walking offers from best
 // quality onward.
 func (b *Books) QuoteBuy(pair Pair, wantGets amount.Value) (Quote, error) {
-	q := Quote{Pair: pair}
+	var q Quote
+	if err := b.QuoteBuyInto(pair, wantGets, &q); err != nil {
+		return Quote{Pair: pair}, err
+	}
+	return q, nil
+}
+
+// QuoteBuyInto is QuoteBuy writing into a caller-owned Quote, reusing
+// its Fills capacity — the allocation-free hot path. A fill that
+// consumes an entire offer pays exactly the offer's Pays amount (no
+// multiply, no rounding); partial fills pay take × quality.
+func (b *Books) QuoteBuyInto(pair Pair, wantGets amount.Value, q *Quote) error {
+	q.Pair = pair
+	q.TotalPays = amount.Zero
+	q.TotalGets = amount.Zero
+	q.Fills = q.Fills[:0]
 	if !wantGets.IsPositive() {
-		return q, fmt.Errorf("orderbook: quote for non-positive amount %s", wantGets)
+		return fmt.Errorf("orderbook: quote for non-positive amount %s", wantGets)
 	}
 	bk := b.byPair[pair]
 	if bk == nil {
-		return q, nil
+		return nil
 	}
 	remaining := wantGets
 	for _, o := range bk.offers {
@@ -191,23 +250,26 @@ func (b *Books) QuoteBuy(pair Pair, wantGets amount.Value) (Quote, error) {
 			break
 		}
 		take := remaining.Min(o.Gets.Value)
-		// pays = take × quality
-		pays, err := take.Mul(o.Quality())
-		if err != nil {
-			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+		var pays amount.Value
+		var err error
+		if take.Cmp(o.Gets.Value) == 0 {
+			// Full fill: deliver the offer's exact asking amount.
+			pays = o.Pays.Value
+		} else if pays, err = take.Mul(o.quality); err != nil {
+			return fmt.Errorf("orderbook: quoting: %w", err)
 		}
 		q.Fills = append(q.Fills, Fill{Offer: o, Pays: pays, Gets: take})
 		if q.TotalPays, err = q.TotalPays.Add(pays); err != nil {
-			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+			return fmt.Errorf("orderbook: quoting: %w", err)
 		}
 		if q.TotalGets, err = q.TotalGets.Add(take); err != nil {
-			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+			return fmt.Errorf("orderbook: quoting: %w", err)
 		}
 		if remaining, err = remaining.Sub(take); err != nil {
-			return Quote{Pair: pair}, fmt.Errorf("orderbook: quoting: %w", err)
+			return fmt.Errorf("orderbook: quoting: %w", err)
 		}
 	}
-	return q, nil
+	return nil
 }
 
 // Apply commits a quote's fills: each offer shrinks by the consumed
@@ -236,10 +298,14 @@ func (b *Books) Apply(q Quote) error {
 		}
 		o.Gets.Value = newGets
 		o.Pays.Value = newPays
-		// Dust or exhausted offers are removed (their quality is
-		// unchanged by proportional fills, so ordering is preserved).
+		// Dust or exhausted offers are removed. Proportional fills keep
+		// quality essentially unchanged, but decimal rounding can drift
+		// the ratio at the last digit — refresh the memo so reads always
+		// see Pays/Gets of the residual amounts.
 		if !o.Gets.Value.IsPositive() || !o.Pays.Value.IsPositive() {
 			b.Cancel(o.Owner, o.Seq)
+		} else {
+			o.memoQuality()
 		}
 	}
 	return nil

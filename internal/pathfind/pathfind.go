@@ -7,6 +7,12 @@
 // The planner is pure: it never mutates the trust graph or the books.
 // It produces a Plan — ordered trust flows plus order-book quotes — that
 // the payment engine applies atomically.
+//
+// A Finder owns a reusable scratch workspace (visited/parent/frontier
+// arrays over the graph's dense account indices, a flow overlay, and
+// quote buffers), so the BFS and trust routing allocate nothing on the
+// steady state. A Finder is therefore NOT safe for concurrent use; spawn
+// one Finder per goroutine over a shared read-only graph.
 package pathfind
 
 import (
@@ -68,13 +74,54 @@ type Plan struct {
 	UsedBridge bool
 }
 
+// ReadSet lists the state a plan (or a failed search) depended on: the
+// accounts whose trust edges the search inspected and the order-book
+// pairs it quoted. Optimistic replay validates a stale plan by checking
+// that nothing in its read set has been mutated since planning — if the
+// read set is untouched, re-planning against current state would read
+// the exact same values and produce the exact same plan.
+type ReadSet struct {
+	Accounts []addr.AccountID
+	Pairs    []orderbook.Pair
+}
+
+// Reset empties the read set, keeping capacity.
+func (rs *ReadSet) Reset() {
+	rs.Accounts = rs.Accounts[:0]
+	rs.Pairs = rs.Pairs[:0]
+}
+
 // Finder searches for payment paths. The zero value is not usable; call
-// New.
+// New. A Finder is not safe for concurrent use (it reuses internal
+// scratch buffers across calls).
 type Finder struct {
 	graph    *trustgraph.Graph
 	books    *orderbook.Books
 	maxHops  int
 	maxPaths int
+	record   bool
+
+	// BFS scratch, indexed by the graph's dense account indices.
+	// seen/readSeen are epoch-stamped so searches never clear them.
+	epoch     uint32
+	readEpoch uint32
+	seen      []uint32
+	readSeen  []uint32
+	parent    []int32
+	depth     []int32
+	frontier  []int32
+	next      []int32
+	pathIdx   []int32
+
+	ov overlay
+
+	// Read-set accumulation for the current FindPayment (recording mode).
+	readAcct []addr.AccountID
+	readPair []orderbook.Pair
+
+	// Scratch quotes for bridge probing; accepted quotes are deep-copied
+	// out before the scratch is reused.
+	qtmp [3]orderbook.Quote
 }
 
 // Option configures a Finder.
@@ -86,37 +133,79 @@ func WithMaxHops(n int) Option { return func(f *Finder) { f.maxHops = n } }
 // WithMaxPaths bounds the number of parallel paths per payment.
 func WithMaxPaths(n int) Option { return func(f *Finder) { f.maxPaths = n } }
 
+// WithRecording makes every FindPayment accumulate the ReadSet of state
+// it inspected, retrievable via AppendReadSet until the next call.
+func WithRecording() Option { return func(f *Finder) { f.record = true } }
+
 // New creates a Finder over a credit network and an order-book set.
 func New(graph *trustgraph.Graph, books *orderbook.Books, opts ...Option) *Finder {
 	f := &Finder{graph: graph, books: books, maxHops: DefaultMaxHops, maxPaths: DefaultMaxPaths}
 	for _, opt := range opts {
 		opt(f)
 	}
+	f.ov.net = make(map[ovKey]amount.Value)
 	return f
 }
 
+// AppendReadSet appends the most recent FindPayment's read set into rs
+// (which the caller owns). Only meaningful with WithRecording.
+func (f *Finder) AppendReadSet(rs *ReadSet) {
+	rs.Accounts = append(rs.Accounts, f.readAcct...)
+	rs.Pairs = append(rs.Pairs, f.readPair...)
+}
+
+// ensureScratch grows the dense-index scratch arrays to cover the graph.
+func (f *Finder) ensureScratch() {
+	n := f.graph.NumInterned()
+	if n <= len(f.seen) {
+		return
+	}
+	f.seen = append(f.seen, make([]uint32, n-len(f.seen))...)
+	f.readSeen = append(f.readSeen, make([]uint32, n-len(f.readSeen))...)
+	f.parent = append(f.parent, make([]int32, n-len(f.parent))...)
+	f.depth = append(f.depth, make([]int32, n-len(f.depth))...)
+}
+
+// noteRead records that the search inspected account u's edges.
+func (f *Finder) noteRead(u int32) {
+	if !f.record || f.readSeen[u] == f.readEpoch {
+		return
+	}
+	f.readSeen[u] = f.readEpoch
+	f.readAcct = append(f.readAcct, f.graph.AccountAt(u))
+}
+
+// notePair records that the search quoted an order-book pair.
+func (f *Finder) notePair(p orderbook.Pair) {
+	if !f.record {
+		return
+	}
+	for _, have := range f.readPair {
+		if have == p {
+			return
+		}
+	}
+	f.readPair = append(f.readPair, p)
+}
+
 // overlay tracks planned flows so capacity queries reflect in-plan usage
-// without mutating the graph.
-type overlayKey struct {
-	from, to addr.AccountID
+// without mutating the graph. Keys use dense account indices.
+type ovKey struct {
+	from, to int32
 	cur      amount.Currency
 }
 
 type overlay struct {
-	g   *trustgraph.Graph
-	net map[overlayKey]amount.Value // net planned flow from→to
+	net map[ovKey]amount.Value // net planned flow from→to
 }
 
-func newOverlay(g *trustgraph.Graph) *overlay {
-	return &overlay{g: g, net: make(map[overlayKey]amount.Value)}
-}
-
-// capacity returns residual capacity from→to: base capacity minus planned
-// forward flow plus planned reverse flow.
-func (o *overlay) capacity(from, to addr.AccountID, cur amount.Currency) amount.Value {
-	base := o.g.Capacity(from, to, cur)
-	fwd := o.net[overlayKey{from, to, cur}]
-	rev := o.net[overlayKey{to, from, cur}]
+// residual adjusts a base capacity from→to by the planned net flows.
+func (o *overlay) residual(base amount.Value, from, to int32, cur amount.Currency) amount.Value {
+	if len(o.net) == 0 {
+		return base // fast path: nothing planned yet
+	}
+	fwd := o.net[ovKey{from, to, cur}]
+	rev := o.net[ovKey{to, from, cur}]
 	c, err := base.Sub(fwd)
 	if err != nil {
 		return amount.Zero
@@ -131,8 +220,8 @@ func (o *overlay) capacity(from, to addr.AccountID, cur amount.Currency) amount.
 	return c
 }
 
-func (o *overlay) addFlow(from, to addr.AccountID, cur amount.Currency, v amount.Value) error {
-	k := overlayKey{from, to, cur}
+func (o *overlay) addFlow(from, to int32, cur amount.Currency, v amount.Value) error {
+	k := ovKey{from, to, cur}
 	sum, err := o.net[k].Add(v)
 	if err != nil {
 		return err
@@ -141,11 +230,48 @@ func (o *overlay) addFlow(from, to addr.AccountID, cur amount.Currency, v amount
 	return nil
 }
 
+// capacity returns the residual capacity from→to under the overlay.
+func (f *Finder) capacity(from, to int32, cur amount.Currency) amount.Value {
+	return f.ov.residual(f.graph.CapacityIdx(from, to, cur), from, to, cur)
+}
+
+// beginSearch resets the per-payment scratch: the overlay, the read set,
+// and the read-dedup epoch.
+func (f *Finder) beginSearch(src, dst addr.AccountID) {
+	f.ensureScratch()
+	clear(f.ov.net)
+	if !f.record {
+		return
+	}
+	f.readAcct = f.readAcct[:0]
+	f.readPair = f.readPair[:0]
+	f.readEpoch++
+	if f.readEpoch == 0 {
+		clear(f.readSeen)
+		f.readEpoch = 1
+	}
+	// The endpoints' edge sets (including their absence) are always part
+	// of what the search observed.
+	f.recordAccount(src)
+	f.recordAccount(dst)
+}
+
+// recordAccount adds an account to the read set, deduplicating interned
+// accounts via the epoch stamps.
+func (f *Finder) recordAccount(a addr.AccountID) {
+	if i, ok := f.graph.Index(a); ok {
+		f.noteRead(i)
+		return
+	}
+	f.readAcct = append(f.readAcct, a)
+}
+
 // FindPayment plans delivery of `deliver` (in its currency) from src to
 // dst. When srcCur differs from the delivery currency the plan bridges
 // through order books. XRP-to-XRP payments need no path (the ledger moves
 // drops directly); callers handle them before planning.
 func (f *Finder) FindPayment(src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) (*Plan, error) {
+	f.beginSearch(src, dst)
 	if src == dst {
 		return nil, fmt.Errorf("pathfind: src and dst are the same account")
 	}
@@ -163,8 +289,7 @@ func (f *Finder) FindPayment(src, dst addr.AccountID, srcCur amount.Currency, de
 // trust network cannot carry.
 func (f *Finder) planSameCurrency(src, dst addr.AccountID, deliver amount.Amount) (*Plan, error) {
 	plan := &Plan{Src: src, Dst: dst, Currency: deliver.Currency, SrcCurrency: deliver.Currency}
-	ov := newOverlay(f.graph)
-	delivered, err := f.routeTrust(plan, ov, src, dst, deliver.Currency, deliver.Value)
+	delivered, err := f.routeTrust(plan, src, dst, deliver.Currency, deliver.Value)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +303,7 @@ func (f *Finder) planSameCurrency(src, dst addr.AccountID, deliver amount.Amount
 		if err != nil {
 			return nil, err
 		}
-		if bridged := f.tryBridge(plan, ov, src, dst, deliver.Currency, amount.New(deliver.Currency, residue)); bridged != nil {
+		if bridged := f.tryBridge(plan, src, dst, deliver.Currency, amount.New(deliver.Currency, residue)); bridged != nil {
 			plan = bridged
 		}
 	}
@@ -191,29 +316,47 @@ func (f *Finder) planSameCurrency(src, dst addr.AccountID, deliver amount.Amount
 // routeTrust finds up to maxPaths augmenting paths carrying `want` from
 // src to dst in cur, appending flows and path metadata to the plan.
 // Returns the total value routed.
-func (f *Finder) routeTrust(plan *Plan, ov *overlay, src, dst addr.AccountID, cur amount.Currency, want amount.Value) (amount.Value, error) {
+func (f *Finder) routeTrust(plan *Plan, src, dst addr.AccountID, cur amount.Currency, want amount.Value) (amount.Value, error) {
+	f.recordAccount(src)
+	f.recordAccount(dst)
+	srcIdx, ok := f.graph.Index(src)
+	if !ok {
+		return amount.Zero, nil
+	}
+	dstIdx, ok := f.graph.Index(dst)
+	if !ok {
+		return amount.Zero, nil
+	}
 	total := amount.Zero
 	remaining := want
 	for len(plan.Paths) < f.maxPaths && remaining.IsPositive() {
-		path := f.shortestPath(ov, src, dst, cur)
+		path := f.shortestPath(srcIdx, dstIdx, cur)
 		if path == nil {
 			break
 		}
 		// Bottleneck along the path, capped at the remaining need.
 		bottleneck := remaining
 		for i := 0; i+1 < len(path); i++ {
-			c := ov.capacity(path[i], path[i+1], cur)
+			c := f.capacity(path[i], path[i+1], cur)
 			bottleneck = bottleneck.Min(c)
 		}
 		if !bottleneck.IsPositive() {
 			break
 		}
+		// Reserve the whole path's flows at once: one growth per path
+		// instead of log(len) incremental doublings.
+		if need := len(path) - 1; cap(plan.TrustFlows)-len(plan.TrustFlows) < need {
+			grown := make([]Flow, len(plan.TrustFlows), len(plan.TrustFlows)+need)
+			copy(grown, plan.TrustFlows)
+			plan.TrustFlows = grown
+		}
 		for i := 0; i+1 < len(path); i++ {
 			plan.TrustFlows = append(plan.TrustFlows, Flow{
-				From: path[i], To: path[i+1], Currency: cur, Value: bottleneck,
+				From: f.graph.AccountAt(path[i]), To: f.graph.AccountAt(path[i+1]),
+				Currency: cur, Value: bottleneck,
 				Path: len(plan.Paths),
 			})
-			if err := ov.addFlow(path[i], path[i+1], cur, bottleneck); err != nil {
+			if err := f.ov.addFlow(path[i], path[i+1], cur, bottleneck); err != nil {
 				return amount.Zero, fmt.Errorf("pathfind: overlay: %w", err)
 			}
 		}
@@ -230,35 +373,47 @@ func (f *Finder) routeTrust(plan *Plan, ov *overlay, src, dst addr.AccountID, cu
 }
 
 // shortestPath runs a BFS from src to dst over edges with positive
-// residual capacity, bounded by maxHops intermediate accounts. It returns
-// the node list src..dst, or nil.
-func (f *Finder) shortestPath(ov *overlay, src, dst addr.AccountID, cur amount.Currency) []addr.AccountID {
-	type visit struct {
-		parent addr.AccountID
-		depth  int
+// residual capacity, bounded by maxHops intermediate accounts. It
+// returns the dense-index node list src..dst (valid until the next
+// search), or nil. All state lives in the Finder's scratch arrays:
+// the steady state allocates nothing.
+func (f *Finder) shortestPath(src, dst int32, cur amount.Currency) []int32 {
+	f.epoch++
+	if f.epoch == 0 { // epoch counter wrapped: invalidate all stamps
+		clear(f.seen)
+		f.epoch = 1
 	}
-	visited := map[addr.AccountID]visit{src: {depth: 0}}
-	frontier := []addr.AccountID{src}
-	maxLen := f.maxHops + 1 // edges allowed = intermediate hops + 1
+	e := f.epoch
+	f.seen[src] = e
+	f.depth[src] = 0
+	frontier := f.frontier[:0]
+	frontier = append(frontier, src)
+	next := f.next[:0]
+	maxLen := int32(f.maxHops + 1) // edges allowed = intermediate hops + 1
+	defer func() {
+		// Keep grown buffers for the next search.
+		f.frontier = frontier[:0]
+		f.next = next[:0]
+	}()
 	for len(frontier) > 0 {
-		var next []addr.AccountID
+		next = next[:0]
 		for _, u := range frontier {
-			du := visited[u].depth
+			du := f.depth[u]
 			if du >= maxLen {
 				continue
 			}
+			f.noteRead(u)
 			found := false
-			f.graph.Neighbors(u, cur, func(peer addr.AccountID, _ amount.Value) {
-				if found {
+			f.graph.NeighborsIdx(u, cur, func(peer int32, base amount.Value) {
+				if found || f.seen[peer] == e {
 					return
 				}
-				if _, seen := visited[peer]; seen {
+				if !f.ov.residual(base, u, peer, cur).IsPositive() {
 					return
 				}
-				if !ov.capacity(u, peer, cur).IsPositive() {
-					return
-				}
-				visited[peer] = visit{parent: u, depth: du + 1}
+				f.seen[peer] = e
+				f.parent[peer] = u
+				f.depth[peer] = du + 1
 				if peer == dst {
 					found = true
 					return
@@ -266,24 +421,42 @@ func (f *Finder) shortestPath(ov *overlay, src, dst addr.AccountID, cur amount.C
 				next = append(next, peer)
 			})
 			if found {
-				// Reconstruct.
-				var rev []addr.AccountID
-				for at := dst; ; at = visited[at].parent {
+				// Reconstruct into the path scratch buffer.
+				rev := f.pathIdx[:0]
+				for at := dst; ; at = f.parent[at] {
 					rev = append(rev, at)
 					if at == src {
 						break
 					}
 				}
-				path := make([]addr.AccountID, len(rev))
-				for i := range rev {
-					path[i] = rev[len(rev)-1-i]
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
 				}
-				return path
+				f.pathIdx = rev
+				return rev
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	return nil
+}
+
+// quoteBuy quotes the book into one of the Finder's scratch quotes,
+// recording the pair read.
+func (f *Finder) quoteBuy(slot int, pair orderbook.Pair, want amount.Value) (*orderbook.Quote, error) {
+	f.notePair(pair)
+	q := &f.qtmp[slot]
+	if err := f.books.QuoteBuyInto(pair, want, q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// cloneQuote deep-copies a scratch quote for inclusion in a plan.
+func cloneQuote(q *orderbook.Quote) orderbook.Quote {
+	out := *q
+	out.Fills = append([]orderbook.Fill(nil), q.Fills...)
+	return out
 }
 
 // bridgeQuote finds the cheapest conversion of srcCur into `deliver`:
@@ -291,35 +464,37 @@ func (f *Finder) shortestPath(ov *overlay, src, dst addr.AccountID, cur amount.C
 // the quotes (1 or 2) and the source-currency cost, or ok=false when no
 // liquidity exists.
 func (f *Finder) bridgeQuote(srcCur amount.Currency, deliver amount.Amount) (quotes []orderbook.Quote, cost amount.Value, ok bool) {
-	type option struct {
-		quotes []orderbook.Quote
-		cost   amount.Value
-	}
-	var best *option
+	var bestQuotes []orderbook.Quote
+	var bestCost amount.Value
+	haveBest := false
 
 	// Direct book: taker pays srcCur, receives deliver.Currency.
-	direct, err := f.books.QuoteBuy(orderbook.Pair{Pays: srcCur, Gets: deliver.Currency}, deliver.Value)
+	direct, err := f.quoteBuy(0, orderbook.Pair{Pays: srcCur, Gets: deliver.Currency}, deliver.Value)
 	if err == nil && direct.TotalGets.Cmp(deliver.Value) == 0 {
-		best = &option{quotes: []orderbook.Quote{direct}, cost: direct.TotalPays}
+		bestQuotes = []orderbook.Quote{cloneQuote(direct)}
+		bestCost = direct.TotalPays
+		haveBest = true
 	}
 
 	// Auto-bridge via XRP: buy deliver with XRP, then buy that XRP with
 	// srcCur. Skipped when either leg is already XRP.
 	if !srcCur.IsXRP() && !deliver.Currency.IsXRP() {
-		leg2, err2 := f.books.QuoteBuy(orderbook.Pair{Pays: amount.XRP, Gets: deliver.Currency}, deliver.Value)
+		leg2, err2 := f.quoteBuy(1, orderbook.Pair{Pays: amount.XRP, Gets: deliver.Currency}, deliver.Value)
 		if err2 == nil && leg2.TotalGets.Cmp(deliver.Value) == 0 {
-			leg1, err1 := f.books.QuoteBuy(orderbook.Pair{Pays: srcCur, Gets: amount.XRP}, leg2.TotalPays)
+			leg1, err1 := f.quoteBuy(2, orderbook.Pair{Pays: srcCur, Gets: amount.XRP}, leg2.TotalPays)
 			if err1 == nil && leg1.TotalGets.Cmp(leg2.TotalPays) == 0 {
-				if best == nil || leg1.TotalPays.Cmp(best.cost) < 0 {
-					best = &option{quotes: []orderbook.Quote{leg1, leg2}, cost: leg1.TotalPays}
+				if !haveBest || leg1.TotalPays.Cmp(bestCost) < 0 {
+					bestQuotes = []orderbook.Quote{cloneQuote(leg1), cloneQuote(leg2)}
+					bestCost = leg1.TotalPays
+					haveBest = true
 				}
 			}
 		}
 	}
-	if best == nil {
+	if !haveBest {
 		return nil, amount.Zero, false
 	}
-	return best.quotes, best.cost, true
+	return bestQuotes, bestCost, true
 }
 
 // planCrossCurrency bridges srcCur→deliver.Currency through books, then
@@ -327,8 +502,7 @@ func (f *Finder) bridgeQuote(srcCur amount.Currency, deliver amount.Amount) (quo
 // (offer owners)→dst over trust-lines.
 func (f *Finder) planCrossCurrency(src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) (*Plan, error) {
 	plan := &Plan{Src: src, Dst: dst, Currency: deliver.Currency, SrcCurrency: srcCur}
-	ov := newOverlay(f.graph)
-	out := f.tryBridge(plan, ov, src, dst, srcCur, deliver)
+	out := f.tryBridge(plan, src, dst, srcCur, deliver)
 	if out == nil || out.Delivered.IsZero() {
 		return nil, ErrNoPath
 	}
@@ -343,7 +517,7 @@ func (f *Finder) planCrossCurrency(src, dst addr.AccountID, srcCur amount.Curren
 // conversion happens at the owner, and the owner moves the delivery
 // currency to the destination over trust-lines. A leg with no trust route
 // voids the bridge.
-func (f *Finder) tryBridge(plan *Plan, ov *overlay, src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) *Plan {
+func (f *Finder) tryBridge(plan *Plan, src, dst addr.AccountID, srcCur amount.Currency, deliver amount.Amount) *Plan {
 	quotes, cost, ok := f.bridgeQuote(srcCur, deliver)
 	if !ok {
 		return nil
@@ -365,7 +539,7 @@ func (f *Finder) tryBridge(plan *Plan, ov *overlay, src, dst addr.AccountID, src
 				continue // self-owned offer: no movement needed
 			}
 			savedPaths := len(trial.Paths)
-			routed, err := f.routeTrust(&trial, ov, src, owner, srcCur, fill.Pays)
+			routed, err := f.routeTrust(&trial, src, owner, srcCur, fill.Pays)
 			if err != nil || routed.Cmp(fill.Pays) < 0 {
 				return nil
 			}
@@ -384,7 +558,7 @@ func (f *Finder) tryBridge(plan *Plan, ov *overlay, src, dst addr.AccountID, src
 				continue
 			}
 			savedPaths := len(trial.Paths)
-			routed, err := f.routeTrust(&trial, ov, owner, dst, deliver.Currency, fill.Gets)
+			routed, err := f.routeTrust(&trial, owner, dst, deliver.Currency, fill.Gets)
 			if err != nil || routed.Cmp(fill.Gets) < 0 {
 				return nil
 			}

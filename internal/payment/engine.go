@@ -38,6 +38,11 @@ type Engine struct {
 
 	verifySignatures bool
 
+	// lastPlan is the path plan executed by the most recent successful
+	// payment (nil otherwise). Optimistic replay reads it to mark the
+	// state a re-planned payment touched.
+	lastPlan *pathfind.Plan
+
 	// stateDigest chains applied transaction hashes into a deterministic
 	// state fingerprint. Hashing the full state on every ledger close
 	// would be quadratic; the chained digest preserves the property the
@@ -154,7 +159,32 @@ func (e *Engine) RemoveMarketMakers() []addr.AccountID {
 // invalid ones return ResultMalformed or ResultBadSequence without
 // touching state. Apply itself errors only on internal inconsistencies.
 func (e *Engine) Apply(tx *ledger.Tx) (*ledger.TxMeta, error) {
+	return e.apply(tx, nil, false)
+}
+
+// ApplyPlanned applies a payment using a path plan computed ahead of
+// time (by an optimistic planner against a snapshot whose read set is
+// known to be untouched), skipping the pathfinding step. A nil plan
+// means planning found no path (ResultPathDry) — the live pre-checks
+// (signature, sequence, fee, destination, funding) still run first, so
+// the outcome is exactly what Apply would have produced. For
+// non-payment transactions the plan is ignored and ApplyPlanned behaves
+// as Apply.
+//
+// The plan's quotes must reference offers standing in THIS engine's
+// books (remap snapshot fills via Books().Lookup before calling).
+func (e *Engine) ApplyPlanned(tx *ledger.Tx, plan *pathfind.Plan) (*ledger.TxMeta, error) {
+	return e.apply(tx, plan, true)
+}
+
+// ExecutedPlan returns the path plan executed by the most recent
+// successful payment, or nil if the last transaction was not a
+// delivered payment. Valid until the next Apply.
+func (e *Engine) ExecutedPlan() *pathfind.Plan { return e.lastPlan }
+
+func (e *Engine) apply(tx *ledger.Tx, plan *pathfind.Plan, havePlan bool) (*ledger.TxMeta, error) {
 	meta := &ledger.TxMeta{}
+	e.lastPlan = nil
 
 	// Signature discipline (when enabled). ACCOUNT_ZERO's key is
 	// public; the network accepts its transactions unsigned, which is
@@ -193,7 +223,7 @@ func (e *Engine) Apply(tx *ledger.Tx) (*ledger.TxMeta, error) {
 
 	switch tx.Type {
 	case ledger.TxPayment:
-		e.applyPayment(tx, meta)
+		e.applyPayment(tx, meta, plan, havePlan)
 	case ledger.TxOfferCreate:
 		e.applyOfferCreate(tx, meta)
 	case ledger.TxOfferCancel:
@@ -221,8 +251,10 @@ func (e *Engine) Apply(tx *ledger.Tx) (*ledger.TxMeta, error) {
 	return meta, nil
 }
 
-// applyPayment executes a Payment transaction.
-func (e *Engine) applyPayment(tx *ledger.Tx, meta *ledger.TxMeta) {
+// applyPayment executes a Payment transaction. When havePlan is true the
+// provided plan (possibly nil = path dry) replaces the pathfinding step;
+// every stateful check still runs against live state.
+func (e *Engine) applyPayment(tx *ledger.Tx, meta *ledger.TxMeta, plan *pathfind.Plan, havePlan bool) {
 	if !tx.Amount.Value.IsPositive() || tx.Destination == tx.Account {
 		meta.Result = ledger.ResultMalformed
 		return
@@ -256,10 +288,18 @@ func (e *Engine) applyPayment(tx *ledger.Tx, meta *ledger.TxMeta) {
 		return
 	}
 
-	plan, err := e.finder.FindPayment(tx.Account, tx.Destination, srcCur, tx.Amount)
-	if err != nil {
-		meta.Result = ledger.ResultPathDry
-		return
+	if havePlan {
+		if plan == nil {
+			meta.Result = ledger.ResultPathDry
+			return
+		}
+	} else {
+		var err error
+		plan, err = e.finder.FindPayment(tx.Account, tx.Destination, srcCur, tx.Amount)
+		if err != nil {
+			meta.Result = ledger.ResultPathDry
+			return
+		}
 	}
 	if plan.Delivered.Cmp(tx.Amount.Value) < 0 {
 		meta.Result = ledger.ResultPathDry
@@ -285,6 +325,7 @@ func (e *Engine) applyPayment(tx *ledger.Tx, meta *ledger.TxMeta) {
 		meta.Result = ledger.ResultPathDry
 		return
 	}
+	e.lastPlan = plan
 	meta.Result = ledger.ResultSuccess
 	meta.Delivered = amount.New(tx.Amount.Currency, plan.Delivered)
 	meta.CrossCurrency = plan.UsedBridge && plan.SrcCurrency != plan.Currency

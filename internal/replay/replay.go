@@ -5,19 +5,45 @@
 // the system and replay the extracted payments on the modified trust
 // network," updating balances after each successful payment and applying
 // the trust-line updates that happened on the real system.
+//
+// Two replay paths produce bit-identical results:
+//
+//   - Run applies everything sequentially — the reference semantics.
+//   - RunParallel plans payments optimistically on worker goroutines
+//     while a single applier commits them in ledger order, falling back
+//     to sequential re-planning when a plan's read set was touched by an
+//     earlier write (see the package's batch protocol below).
+//
+// Both consume history through a decode-ahead page stream, and both use
+// the source's sequence index (RangeSource) when available, so a replay
+// from a 70% snapshot reads each byte of the store once instead of
+// scanning it twice.
 package replay
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ripplestudy/internal/addr"
 	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/orderbook"
+	"ripplestudy/internal/pathfind"
 	"ripplestudy/internal/payment"
 )
 
 // Source streams ledger pages in order; ledgerstore.Store satisfies it.
 type Source interface {
 	Pages(fn func(*ledger.Page) error) error
+}
+
+// RangeSource is a Source that can stream only the pages whose header
+// sequence falls in [lo, hi], skipping the rest without decoding them.
+// ledgerstore.Store satisfies it via its segment sequence index.
+type RangeSource interface {
+	Source
+	PagesRange(lo, hi uint64, fn func(*ledger.Page) error) error
 }
 
 // sliceSource adapts an in-memory page list (tests, freshly generated
@@ -33,8 +59,89 @@ func (s sliceSource) Pages(fn func(*ledger.Page) error) error {
 	return nil
 }
 
+// PagesRange implements RangeSource; pages are in append (ledger) order.
+func (s sliceSource) PagesRange(lo, hi uint64, fn func(*ledger.Page) error) error {
+	for _, p := range s {
+		seq := p.Header.Sequence
+		if seq < lo {
+			continue
+		}
+		if seq > hi {
+			return nil
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FromPages wraps an in-memory page list as a Source.
 func FromPages(pages []*ledger.Page) Source { return sliceSource(pages) }
+
+// errStopBuild stops a full scan once past the requested range. It must
+// be matched with errors.Is: wrapped errors compared with != would leak
+// past the check and abort callers that merely reached the snapshot.
+var errStopBuild = errors.New("replay: snapshot reached")
+
+// rangePages streams the pages with sequence in [lo, hi] from src,
+// using PagesRange when the source supports it and an early-stopping
+// full scan otherwise (history pages are in ledger order).
+func rangePages(src Source, lo, hi uint64, fn func(*ledger.Page) error) error {
+	if rs, ok := src.(RangeSource); ok {
+		return rs.PagesRange(lo, hi, fn)
+	}
+	err := src.Pages(func(p *ledger.Page) error {
+		seq := p.Header.Sequence
+		if seq < lo {
+			return nil
+		}
+		if seq > hi {
+			return errStopBuild
+		}
+		return fn(p)
+	})
+	if errors.Is(err, errStopBuild) {
+		return nil
+	}
+	return err
+}
+
+// pageOrErr is one element of the decode-ahead stream.
+type pageOrErr struct {
+	page *ledger.Page
+	err  error
+}
+
+// streamPages decodes pages [lo, hi] on a producer goroutine, sending
+// them through a buffered channel so decoding overlaps whatever the
+// consumer does with each page (engine apply, planning). Closing stop
+// makes the producer quit promptly; the channel is always closed when
+// the producer finishes.
+func streamPages(src Source, lo, hi uint64, stop <-chan struct{}) <-chan pageOrErr {
+	ch := make(chan pageOrErr, 64)
+	go func() {
+		defer close(ch)
+		err := rangePages(src, lo, hi, func(p *ledger.Page) error {
+			select {
+			case ch <- pageOrErr{page: p}:
+				return nil
+			case <-stop:
+				return errStopBuild
+			}
+		})
+		if err != nil && !errors.Is(err, errStopBuild) {
+			select {
+			case ch <- pageOrErr{err: err}:
+			case <-stop:
+			}
+		}
+	}()
+	return ch
+}
+
+// maxSeq is the inclusive upper bound meaning "to the end of history".
+const maxSeq = ^uint64(0)
 
 // BuildState replays every transaction in pages with sequence ≤
 // snapshotSeq into a fresh engine, reconstructing the network state at
@@ -42,24 +149,20 @@ func FromPages(pages []*ledger.Page) Source { return sliceSource(pages) }
 // the state that produced the history.
 func BuildState(src Source, snapshotSeq uint64) (*payment.Engine, error) {
 	eng := payment.NewEngine()
-	err := src.Pages(func(p *ledger.Page) error {
-		if p.Header.Sequence > snapshotSeq {
-			return errStopBuild
+	stop := make(chan struct{})
+	defer close(stop)
+	for pe := range streamPages(src, 0, snapshotSeq, stop) {
+		if pe.err != nil {
+			return nil, pe.err
 		}
-		for _, tx := range p.Txs {
+		for _, tx := range pe.page.Txs {
 			if _, err := eng.Apply(tx); err != nil {
-				return fmt.Errorf("replay: rebuilding state at page %d: %w", p.Header.Sequence, err)
+				return nil, fmt.Errorf("replay: rebuilding state at page %d: %w", pe.page.Header.Sequence, err)
 			}
 		}
-		return nil
-	})
-	if err != nil && err != errStopBuild {
-		return nil, err
 	}
 	return eng, nil
 }
-
-var errStopBuild = fmt.Errorf("replay: snapshot reached")
 
 // Category buckets replayed payments as the paper's Table II does.
 type Category int
@@ -99,6 +202,23 @@ func (r Row) Rate() float64 {
 	return float64(r.Delivered) / float64(r.Submitted)
 }
 
+// Stats reports how the optimistic-parallel pipeline behaved. It is
+// informational: two runs with different Stats can (and must) still
+// agree on every other Result field.
+type Stats struct {
+	// Workers is the planner goroutine count (0 for sequential Run).
+	Workers int
+	// Batches is the number of planning batches.
+	Batches int
+	// PlannedAhead counts payments committed straight from an optimistic
+	// plan whose read set was untouched.
+	PlannedAhead int
+	// Conflicts counts payments whose optimistic plan was invalidated by
+	// an earlier write in the same batch and had to be re-planned
+	// sequentially.
+	Conflicts int
+}
+
 // Result is the full Table II.
 type Result struct {
 	Cross, Single Row
@@ -106,6 +226,12 @@ type Result struct {
 	RemovedMarketMakers int
 	// SnapshotSeq is the page sequence the snapshot was taken at.
 	SnapshotSeq uint64
+	// StateDigest is the replay engine's deterministic state fingerprint
+	// after the last replayed transaction — the strongest equality check
+	// between two replays of the same history.
+	StateDigest ledger.Hash
+	// Stats describes the pipeline; excluded from result equality.
+	Stats Stats
 }
 
 // Total aggregates both categories.
@@ -122,57 +248,304 @@ func (r Result) Total() Row {
 // payments (direct XRP transfers don't traverse trust or books and are
 // excluded, as in the paper's 1.7M-payment replay set).
 func Run(src Source, snapshotSeq uint64) (*Result, error) {
-	state, err := BuildState(src, snapshotSeq)
+	state, removed, res, err := setupReplay(src, snapshotSeq)
 	if err != nil {
 		return nil, err
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	for pe := range streamPages(src, snapshotSeq+1, maxSeq, stop) {
+		if pe.err != nil {
+			return nil, pe.err
+		}
+		for i, tx := range pe.page.Txs {
+			it, ok := classify(tx, pe.page.Metas[i], removed, res)
+			if !ok || it.skip {
+				continue
+			}
+			if m := replayTx(state, tx); m != nil && m.Result.Succeeded() && it.row != nil {
+				it.row.Delivered++
+			}
+		}
+	}
+	res.StateDigest = state.StateDigest()
+	return res, nil
+}
+
+// setupReplay rebuilds the snapshot state and performs the market-maker
+// ablation shared by Run and RunParallel.
+func setupReplay(src Source, snapshotSeq uint64) (*payment.Engine, map[addr.AccountID]bool, *Result, error) {
+	state, err := BuildState(src, snapshotSeq)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	removedList := state.RemoveMarketMakers()
 	removed := make(map[addr.AccountID]bool, len(removedList))
 	for _, a := range removedList {
 		removed[a] = true
 	}
-
 	res := &Result{RemovedMarketMakers: len(removedList), SnapshotSeq: snapshotSeq}
-	err = src.Pages(func(p *ledger.Page) error {
-		if p.Header.Sequence <= snapshotSeq {
-			return nil
+	return state, removed, res, nil
+}
+
+// item is one replayable post-snapshot transaction, in ledger order.
+type item struct {
+	tx *ledger.Tx
+	// row is the Table II row the payment counts toward (nil for
+	// trust-line updates).
+	row *Row
+	// skip marks payments that are counted as submitted but not
+	// replayed (an endpoint vanished with the market makers).
+	skip bool
+
+	// Optimistic planning outputs (RunParallel only).
+	planned bool
+	plan    *pathfind.Plan
+	reads   pathfind.ReadSet
+}
+
+// classify applies the Table II filters to one historical transaction,
+// bumping the submitted counters as a side effect. ok is false for
+// transactions the replay ignores entirely.
+func classify(tx *ledger.Tx, meta *ledger.TxMeta, removed map[addr.AccountID]bool, res *Result) (item, bool) {
+	switch tx.Type {
+	case ledger.TxTrustSet:
+		// "We also reflected in the modified trust network the updates
+		// happening on the real system to trust-lines."
+		if removed[tx.Account] || removed[tx.LimitPeer] {
+			return item{}, false
 		}
-		for i, tx := range p.Txs {
-			meta := p.Metas[i]
-			switch tx.Type {
-			case ledger.TxTrustSet:
-				// "We also reflected in the modified trust network the
-				// updates happening on the real system to trust-lines."
-				if removed[tx.Account] || removed[tx.LimitPeer] {
-					continue
-				}
-				replayTx(state, tx)
-			case ledger.TxPayment:
-				if !meta.Result.Succeeded() {
-					continue // the paper replays successfully delivered payments
-				}
-				if isDirectXRP(tx) {
-					continue
-				}
-				row := &res.Single
-				if meta.CrossCurrency {
-					row = &res.Cross
-				}
-				row.Submitted++
-				if removed[tx.Account] || removed[tx.Destination] {
-					continue // its endpoint vanished with the makers
-				}
-				if m := replayTx(state, tx); m != nil && m.Result.Succeeded() {
-					row.Delivered++
-				}
-			}
+		return item{tx: tx}, true
+	case ledger.TxPayment:
+		if !meta.Result.Succeeded() {
+			return item{}, false // the paper replays successfully delivered payments
 		}
-		return nil
-	})
+		if isDirectXRP(tx) {
+			return item{}, false
+		}
+		row := &res.Single
+		if meta.CrossCurrency {
+			row = &res.Cross
+		}
+		row.Submitted++
+		if removed[tx.Account] || removed[tx.Destination] {
+			return item{skip: true}, true // its endpoint vanished with the makers
+		}
+		return item{tx: tx, row: row}, true
+	}
+	return item{}, false
+}
+
+// planBatchSize is how many replayable transactions are planned per
+// optimistic batch. Within a batch the engine state is immutable (all
+// planners run before the first apply), so plans validate against the
+// writes of earlier items in the same batch only — dirt never
+// accumulates across batches.
+const planBatchSize = 256
+
+// RunParallel is Run with optimistic parallel planning: `workers`
+// goroutines run the pathfinder over the current engine state while it
+// is frozen, then a single applier commits the batch in ledger order.
+// Each payment's plan carries the read set the search depended on
+// (accounts whose trust edges were inspected, order-book pairs quoted);
+// the applier re-plans a payment sequentially when an earlier commit in
+// the batch dirtied anything in its read set. Since the planner is
+// deterministic, an untouched read set guarantees the optimistic plan
+// is byte-for-byte the plan sequential replay would have computed — the
+// differential tests pin Result (including StateDigest) bit-identical
+// to Run's.
+//
+// workers < 1 uses GOMAXPROCS. The engine must be driven by replay only
+// (payments and trust-line updates); offer placement would bypass the
+// dirty tracking.
+func RunParallel(src Source, snapshotSeq uint64, workers int) (*Result, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	state, removed, res, err := setupReplay(src, snapshotSeq)
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.Workers = workers
+
+	// Per-worker planners share the frozen state but own their scratch.
+	// They must use the engine's pathfinding defaults so a valid
+	// optimistic plan is exactly what Apply would have computed.
+	finders := make([]*pathfind.Finder, workers)
+	for i := range finders {
+		finders[i] = pathfind.New(state.Graph(), state.Books(), pathfind.WithRecording())
+	}
+
+	ap := applier{
+		state:     state,
+		res:       res,
+		dirtyAcct: make(map[addr.AccountID]struct{}),
+		dirtyPair: make(map[orderbook.Pair]struct{}),
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	batch := make([]item, 0, planBatchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		planBatch(batch, finders)
+		if err := ap.applyBatch(batch); err != nil {
+			return err
+		}
+		res.Stats.Batches++
+		batch = batch[:0]
+		return nil
+	}
+	for pe := range streamPages(src, snapshotSeq+1, maxSeq, stop) {
+		if pe.err != nil {
+			return nil, pe.err
+		}
+		for i, tx := range pe.page.Txs {
+			it, ok := classify(tx, pe.page.Metas[i], removed, res)
+			if !ok {
+				continue
+			}
+			batch = append(batch, it)
+			if len(batch) >= planBatchSize {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	res.StateDigest = state.StateDigest()
 	return res, nil
+}
+
+// planBatch runs the pathfinder for every replayable payment in the
+// batch across the worker finders. The engine state is read-only for
+// the duration: planning mutates nothing but each finder's own scratch.
+func planBatch(batch []item, finders []*pathfind.Finder) {
+	idx := make(chan int, len(batch))
+	for i := range batch {
+		it := &batch[i]
+		if it.tx == nil || it.tx.Type != ledger.TxPayment || it.skip {
+			continue
+		}
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for _, f := range finders {
+		wg.Add(1)
+		go func(f *pathfind.Finder) {
+			defer wg.Done()
+			for i := range idx {
+				it := &batch[i]
+				tx := it.tx
+				srcCur := tx.Amount.Currency
+				if !tx.SendMax.IsZero() {
+					srcCur = tx.SendMax.Currency
+				}
+				// Plan even when it comes back nil (no path): the failed
+				// search's read set still certifies the PathDry outcome.
+				plan, err := f.FindPayment(tx.Account, tx.Destination, srcCur, tx.Amount)
+				if err != nil {
+					plan = nil
+				}
+				it.plan = plan
+				it.reads.Reset()
+				f.AppendReadSet(&it.reads)
+				it.planned = true
+			}
+		}(f)
+	}
+	wg.Wait()
+}
+
+// applier commits batches in ledger order, tracking which state each
+// commit dirtied so later optimistic plans in the batch can be
+// validated.
+type applier struct {
+	state     *payment.Engine
+	res       *Result
+	dirtyAcct map[addr.AccountID]struct{}
+	dirtyPair map[orderbook.Pair]struct{}
+}
+
+func (ap *applier) applyBatch(batch []item) error {
+	clear(ap.dirtyAcct)
+	clear(ap.dirtyPair)
+	for i := range batch {
+		it := &batch[i]
+		if it.skip {
+			continue
+		}
+		tx := it.tx
+		if tx.Type == ledger.TxTrustSet {
+			replayTx(ap.state, tx)
+			ap.dirtyAcct[tx.Account] = struct{}{}
+			ap.dirtyAcct[tx.LimitPeer] = struct{}{}
+			continue
+		}
+		var meta *ledger.TxMeta
+		if it.planned && ap.clean(&it.reads) {
+			meta = replayTxPlanned(ap.state, tx, it.plan)
+			ap.res.Stats.PlannedAhead++
+		} else {
+			// The plan (or its PathDry verdict) may be stale: re-plan
+			// against live state, exactly as sequential replay would.
+			if it.planned {
+				ap.res.Stats.Conflicts++
+			}
+			meta = replayTx(ap.state, tx)
+		}
+		if meta != nil && meta.Result.Succeeded() {
+			if it.row != nil {
+				it.row.Delivered++
+			}
+			ap.markExecuted()
+		}
+	}
+	return nil
+}
+
+// clean reports whether nothing in the read set has been dirtied by an
+// earlier commit in this batch.
+func (ap *applier) clean(rs *pathfind.ReadSet) bool {
+	if len(ap.dirtyAcct) > 0 {
+		for _, a := range rs.Accounts {
+			if _, dirty := ap.dirtyAcct[a]; dirty {
+				return false
+			}
+		}
+	}
+	if len(ap.dirtyPair) > 0 {
+		for _, p := range rs.Pairs {
+			if _, dirty := ap.dirtyPair[p]; dirty {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// markExecuted records the state the just-committed payment mutated:
+// every trust-flow endpoint and every quoted book pair. XRP balances,
+// fees, and sequence numbers are not tracked because the planner never
+// reads them (the applier re-checks them live on every commit).
+func (ap *applier) markExecuted() {
+	plan := ap.state.ExecutedPlan()
+	if plan == nil {
+		return
+	}
+	for _, fl := range plan.TrustFlows {
+		ap.dirtyAcct[fl.From] = struct{}{}
+		ap.dirtyAcct[fl.To] = struct{}{}
+	}
+	for _, q := range plan.Quotes {
+		ap.dirtyPair[q.Pair] = struct{}{}
+	}
 }
 
 // isDirectXRP reports whether the payment is a plain XRP transfer.
@@ -188,6 +561,17 @@ func replayTx(eng *payment.Engine, tx *ledger.Tx) *ledger.TxMeta {
 	clone := *tx
 	clone.Sequence = eng.NextSequence(tx.Account)
 	meta, err := eng.Apply(&clone)
+	if err != nil {
+		return nil
+	}
+	return meta
+}
+
+// replayTxPlanned is replayTx committing a pre-computed path plan.
+func replayTxPlanned(eng *payment.Engine, tx *ledger.Tx, plan *pathfind.Plan) *ledger.TxMeta {
+	clone := *tx
+	clone.Sequence = eng.NextSequence(tx.Account)
+	meta, err := eng.ApplyPlanned(&clone, plan)
 	if err != nil {
 		return nil
 	}

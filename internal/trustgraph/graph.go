@@ -9,9 +9,17 @@
 // [are limited] to 10USD". Value flowing B→A consumes A's trust in B;
 // value flowing back A→B first pays down existing debt and then consumes
 // B's trust in A.
+//
+// Accounts are interned to dense int32 indices on first contact, and the
+// adjacency is slice-backed: the payment replay pipeline runs millions of
+// breadth-first searches over this graph, and dense indices let the path
+// finder keep visited/parent state in flat arrays instead of per-search
+// maps. The dense index of an account is stable for the lifetime of the
+// graph (removal tombstones the slot; it is never reused).
 package trustgraph
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -34,61 +42,109 @@ type Pair struct {
 	Balance   amount.Value
 }
 
-// edgeKey addresses a pair from one endpoint's perspective.
-type edgeKey struct {
-	peer addr.AccountID
+// edgeRec is one directed view of a trust pair in an account's adjacency
+// list: the peer's dense index and the shared Pair record.
+type edgeRec struct {
 	cur  amount.Currency
-}
-
-// less orders edge keys deterministically: by currency, then peer.
-func (k edgeKey) less(o edgeKey) bool {
-	if k.cur != o.cur {
-		return string(k.cur[:]) < string(o.cur[:])
-	}
-	return k.peer.Less(o.peer)
-}
-
-// accountEdges keeps one account's edges both indexed and in sorted
-// order, so iteration (and therefore path finding and everything built
-// on it) is deterministic — map iteration order must never influence a
-// ledger's content.
-type accountEdges struct {
-	m    map[edgeKey]*Pair
-	keys []edgeKey // sorted by edgeKey.less
-}
-
-func (e *accountEdges) insert(k edgeKey, p *Pair) {
-	if _, exists := e.m[k]; !exists {
-		i := sort.Search(len(e.keys), func(i int) bool { return k.less(e.keys[i]) })
-		e.keys = append(e.keys, edgeKey{})
-		copy(e.keys[i+1:], e.keys[i:])
-		e.keys[i] = k
-	}
-	e.m[k] = p
-}
-
-func (e *accountEdges) remove(k edgeKey) {
-	if _, exists := e.m[k]; !exists {
-		return
-	}
-	delete(e.m, k)
-	i := sort.Search(len(e.keys), func(i int) bool { return !e.keys[i].less(k) })
-	if i < len(e.keys) && e.keys[i] == k {
-		e.keys = append(e.keys[:i], e.keys[i+1:]...)
-	}
+	peer int32
+	pair *Pair
 }
 
 // Graph is the in-memory credit network. It is not safe for concurrent
-// mutation; analyses clone it before replaying.
+// mutation; analyses clone it before replaying. Concurrent readers are
+// safe while no writer runs (all queries are pure).
 type Graph struct {
-	adj map[addr.AccountID]*accountEdges
+	ids      map[addr.AccountID]int32
+	accounts []addr.AccountID
+	// adj[i] holds account i's edges sorted by (currency, peer account
+	// ID), so iteration — and therefore path finding and everything
+	// built on it — is deterministic and independent of interning order.
+	adj [][]edgeRec
 	// pairs counts distinct trust pairs for stats.
 	pairs int
+	// active counts accounts with at least one edge.
+	active int
 }
 
 // New creates an empty credit network.
 func New() *Graph {
-	return &Graph{adj: make(map[addr.AccountID]*accountEdges)}
+	return &Graph{ids: make(map[addr.AccountID]int32)}
+}
+
+// NumInterned returns the size of the dense index space: every account
+// ever seen by the graph, including removed ones. Path finders size their
+// scratch arrays by it.
+func (g *Graph) NumInterned() int { return len(g.accounts) }
+
+// Index returns the dense index of an account, if it has ever been
+// interned.
+func (g *Graph) Index(a addr.AccountID) (int32, bool) {
+	i, ok := g.ids[a]
+	return i, ok
+}
+
+// AccountAt returns the account interned at dense index i.
+func (g *Graph) AccountAt(i int32) addr.AccountID { return g.accounts[i] }
+
+// intern returns the dense index for a, allocating one on first contact.
+func (g *Graph) intern(a addr.AccountID) int32 {
+	if i, ok := g.ids[a]; ok {
+		return i
+	}
+	i := int32(len(g.accounts))
+	g.ids[a] = i
+	g.accounts = append(g.accounts, a)
+	g.adj = append(g.adj, nil)
+	return i
+}
+
+// edgeLess orders (cur, peer-account) probes against edge records:
+// by currency bytes, then peer account ID bytes.
+func (g *Graph) edgeLess(e edgeRec, cur amount.Currency, peer addr.AccountID) bool {
+	if c := bytes.Compare(e.cur[:], cur[:]); c != 0 {
+		return c < 0
+	}
+	return bytes.Compare(g.accounts[e.peer][:], peer[:]) < 0
+}
+
+// findEdge binary-searches account ai's adjacency for (peer, cur),
+// returning the slot and whether it holds that exact edge.
+func (g *Graph) findEdge(ai int32, cur amount.Currency, peer addr.AccountID) (int, bool) {
+	edges := g.adj[ai]
+	i := sort.Search(len(edges), func(i int) bool {
+		return !g.edgeLess(edges[i], cur, peer)
+	})
+	if i < len(edges) && edges[i].cur == cur && g.accounts[edges[i].peer] == peer {
+		return i, true
+	}
+	return i, false
+}
+
+// link inserts the edge (ai → pi, cur) → p into ai's adjacency.
+func (g *Graph) link(ai, pi int32, cur amount.Currency, p *Pair) {
+	i, ok := g.findEdge(ai, cur, g.accounts[pi])
+	if ok {
+		g.adj[ai][i].pair = p
+		return
+	}
+	if len(g.adj[ai]) == 0 {
+		g.active++
+	}
+	g.adj[ai] = append(g.adj[ai], edgeRec{})
+	copy(g.adj[ai][i+1:], g.adj[ai][i:])
+	g.adj[ai][i] = edgeRec{cur: cur, peer: pi, pair: p}
+}
+
+// unlink removes the edge (ai, cur, peer) from ai's adjacency.
+func (g *Graph) unlink(ai int32, cur amount.Currency, peer addr.AccountID) {
+	i, ok := g.findEdge(ai, cur, peer)
+	if !ok {
+		return
+	}
+	g.adj[ai] = append(g.adj[ai][:i], g.adj[ai][i+1:]...)
+	if len(g.adj[ai]) == 0 {
+		g.active--
+	}
 }
 
 // canonical orders two accounts.
@@ -99,37 +155,21 @@ func canonical(a, b addr.AccountID) (lo, hi addr.AccountID, swapped bool) {
 	return a, b, false
 }
 
-func (g *Graph) edge(a addr.AccountID, k edgeKey) (*Pair, bool) {
-	e, ok := g.adj[a]
-	if !ok {
-		return nil, false
-	}
-	p, ok := e.m[k]
-	return p, ok
-}
-
-func (g *Graph) link(a addr.AccountID, k edgeKey, p *Pair) {
-	e, ok := g.adj[a]
-	if !ok {
-		e = &accountEdges{m: make(map[edgeKey]*Pair)}
-		g.adj[a] = e
-	}
-	e.insert(k, p)
-}
-
 // pair returns the Pair for (a, b, cur), creating it when create is set.
 func (g *Graph) pair(a, b addr.AccountID, cur amount.Currency, create bool) *Pair {
-	p, ok := g.edge(a, edgeKey{peer: b, cur: cur})
-	if ok {
-		return p
+	if ai, ok := g.ids[a]; ok {
+		if i, ok := g.findEdge(ai, cur, b); ok {
+			return g.adj[ai][i].pair
+		}
 	}
 	if !create {
 		return nil
 	}
 	lo, hi, _ := canonical(a, b)
-	p = &Pair{Lo: lo, Hi: hi, Currency: cur}
-	g.link(a, edgeKey{peer: b, cur: cur}, p)
-	g.link(b, edgeKey{peer: a, cur: cur}, p)
+	p := &Pair{Lo: lo, Hi: hi, Currency: cur}
+	ai, bi := g.intern(a), g.intern(b)
+	g.link(ai, bi, cur, p)
+	g.link(bi, ai, cur, p)
 	g.pairs++
 	return p
 }
@@ -197,6 +237,15 @@ func (g *Graph) Capacity(from, to addr.AccountID, cur amount.Currency) amount.Va
 	return pairCapacity(p, from)
 }
 
+// CapacityIdx is Capacity over dense indices, for path-finder hot loops.
+func (g *Graph) CapacityIdx(from, to int32, cur amount.Currency) amount.Value {
+	i, ok := g.findEdge(from, cur, g.accounts[to])
+	if !ok {
+		return amount.Zero
+	}
+	return pairCapacity(g.adj[from][i].pair, g.accounts[from])
+}
+
 // pairCapacity computes capacity for value flowing out of `from` across p.
 func pairCapacity(p *Pair, from addr.AccountID) amount.Value {
 	// Value flowing Lo→Hi decreases Balance; floor is -LimitHiLo.
@@ -244,53 +293,73 @@ func (g *Graph) ApplyFlow(from, to addr.AccountID, cur amount.Currency, v amount
 	return nil
 }
 
+// curBlock returns the half-open range of account ai's edges in cur.
+// Edges are sorted by (currency, peer), so the block is contiguous.
+func (g *Graph) curBlock(ai int32, cur amount.Currency) (int, int) {
+	edges := g.adj[ai]
+	start := sort.Search(len(edges), func(i int) bool {
+		return bytes.Compare(edges[i].cur[:], cur[:]) >= 0
+	})
+	end := start
+	for end < len(edges) && edges[end].cur == cur {
+		end++
+	}
+	return start, end
+}
+
 // Neighbors calls fn for every peer that shares a trust pair with account
 // in the given currency, together with the current capacity for value
 // flowing account→peer. Iteration order is deterministic (sorted by
 // peer): payment routing must not depend on map iteration order.
 func (g *Graph) Neighbors(account addr.AccountID, cur amount.Currency, fn func(peer addr.AccountID, capacity amount.Value)) {
-	e, ok := g.adj[account]
+	ai, ok := g.ids[account]
 	if !ok {
 		return
 	}
-	// Keys are sorted by (currency, peer): binary-search the currency's
-	// contiguous block.
-	start := sort.Search(len(e.keys), func(i int) bool {
-		return string(e.keys[i].cur[:]) >= string(cur[:])
-	})
-	for i := start; i < len(e.keys) && e.keys[i].cur == cur; i++ {
-		k := e.keys[i]
-		fn(k.peer, pairCapacity(e.m[k], account))
+	start, end := g.curBlock(ai, cur)
+	for _, e := range g.adj[ai][start:end] {
+		fn(g.accounts[e.peer], pairCapacity(e.pair, account))
+	}
+}
+
+// NeighborsIdx is Neighbors over dense indices: fn receives the peer's
+// dense index and the account→peer capacity. It is the path finder's hot
+// loop; iteration order matches Neighbors exactly.
+func (g *Graph) NeighborsIdx(account int32, cur amount.Currency, fn func(peer int32, capacity amount.Value)) {
+	start, end := g.curBlock(account, cur)
+	from := g.accounts[account]
+	for _, e := range g.adj[account][start:end] {
+		fn(e.peer, pairCapacity(e.pair, from))
 	}
 }
 
 // Currencies calls fn for each currency in which account has any pair,
 // in sorted order.
 func (g *Graph) Currencies(account addr.AccountID, fn func(cur amount.Currency)) {
-	e, ok := g.adj[account]
+	ai, ok := g.ids[account]
 	if !ok {
 		return
 	}
 	var last amount.Currency
 	first := true
-	for _, k := range e.keys {
-		if first || k.cur != last {
-			fn(k.cur)
-			last = k.cur
+	for _, e := range g.adj[ai] {
+		if first || e.cur != last {
+			fn(e.cur)
+			last = e.cur
 			first = false
 		}
 	}
 }
 
-// Pairs calls fn once per distinct trust pair in the graph. Iteration
-// order is unspecified (callers aggregate).
+// Pairs calls fn once per distinct trust pair in the graph, in a
+// deterministic (dense-index) order.
 func (g *Graph) Pairs(fn func(*Pair)) {
-	seen := make(map[*Pair]bool, g.pairs)
-	for _, edges := range g.adj {
-		for _, p := range edges.m {
-			if !seen[p] {
-				seen[p] = true
-				fn(p)
+	for i := range g.adj {
+		for _, e := range g.adj[i] {
+			// Each pair is linked from both endpoints; visit it from the
+			// lower dense index only.
+			if e.peer > int32(i) {
+				fn(e.pair)
 			}
 		}
 	}
@@ -300,53 +369,61 @@ func (g *Graph) Pairs(fn func(*Pair)) {
 func (g *Graph) NumPairs() int { return g.pairs }
 
 // NumAccounts returns the number of accounts with at least one pair.
-func (g *Graph) NumAccounts() int { return len(g.adj) }
+func (g *Graph) NumAccounts() int { return g.active }
 
 // HasAccount reports whether the account participates in any trust pair.
 func (g *Graph) HasAccount(a addr.AccountID) bool {
-	e, ok := g.adj[a]
-	return ok && len(e.m) > 0
+	ai, ok := g.ids[a]
+	return ok && len(g.adj[ai]) > 0
 }
 
 // RemoveAccount deletes an account and every trust pair it participates
 // in — the mutation behind the paper's market-maker ablation (Table II).
+// The dense index remains interned (a tombstone with no edges).
 func (g *Graph) RemoveAccount(a addr.AccountID) {
-	e, ok := g.adj[a]
-	if !ok {
+	ai, ok := g.ids[a]
+	if !ok || len(g.adj[ai]) == 0 {
 		return
 	}
-	for _, k := range append([]edgeKey(nil), e.keys...) {
-		if peerEdges, ok := g.adj[k.peer]; ok {
-			peerEdges.remove(edgeKey{peer: a, cur: k.cur})
-			if len(peerEdges.m) == 0 {
-				delete(g.adj, k.peer)
-			}
-		}
+	for _, e := range g.adj[ai] {
+		g.unlink(e.peer, e.cur, a)
 		g.pairs--
 	}
-	delete(g.adj, a)
+	g.adj[ai] = nil
+	g.active--
 }
 
-// Clone returns a deep copy of the graph, for replay experiments.
+// Clone returns a deep copy of the graph, for replay experiments. The
+// clone preserves dense indices, so iteration order — and therefore
+// every analysis built on it — matches the original exactly.
 func (g *Graph) Clone() *Graph {
-	out := New()
-	out.pairs = g.pairs
+	out := &Graph{
+		ids:      make(map[addr.AccountID]int32, len(g.ids)),
+		accounts: append([]addr.AccountID(nil), g.accounts...),
+		adj:      make([][]edgeRec, len(g.adj)),
+		pairs:    g.pairs,
+		active:   g.active,
+	}
+	for a, i := range g.ids {
+		out.ids[a] = i
+	}
 	copies := make(map[*Pair]*Pair, g.pairs)
-	for acct, edges := range g.adj {
-		ne := &accountEdges{
-			m:    make(map[edgeKey]*Pair, len(edges.m)),
-			keys: append([]edgeKey(nil), edges.keys...),
+	for i, edges := range g.adj {
+		if len(edges) == 0 {
+			continue
 		}
-		for k, p := range edges.m {
-			cp, ok := copies[p]
+		ne := make([]edgeRec, len(edges))
+		copy(ne, edges)
+		for j := range ne {
+			cp, ok := copies[ne[j].pair]
 			if !ok {
-				dup := *p
+				dup := *ne[j].pair
 				cp = &dup
-				copies[p] = cp
+				copies[ne[j].pair] = cp
 			}
-			ne.m[k] = cp
+			ne[j].pair = cp
 		}
-		out.adj[acct] = ne
+		out.adj[i] = ne
 	}
 	return out
 }
@@ -391,15 +468,15 @@ type Profile struct {
 // ProfileOf computes the aggregate standing of account under rates.
 func (g *Graph) ProfileOf(account addr.AccountID, rate func(amount.Currency) float64) Profile {
 	var pr Profile
-	e, ok := g.adj[account]
+	ai, ok := g.ids[account]
 	if !ok {
 		return pr
 	}
-	// Iterate in sorted key order: float accumulation must be
+	// Iterate in sorted edge order: float accumulation must be
 	// deterministic so profiles compare equal across replays.
-	for _, k := range e.keys {
-		p := e.m[k]
-		r := rate(k.cur)
+	for _, e := range g.adj[ai] {
+		p := e.pair
+		r := rate(e.cur)
 		if r == 0 {
 			continue
 		}
