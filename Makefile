@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench check
+.PHONY: all build vet test race chaos bench fuzz check
 
 all: check
 
@@ -23,18 +23,31 @@ race:
 # allocation stats and archive them as JSON so future PRs can diff
 # payments/s, ns/op, and B/op against this one. Serving-layer
 # benchmarks (ingest fan-out, O(1) lookups, snapshot publish, HTTP)
-# are archived separately in BENCH_serve.json.
+# are archived in BENCH_serve.json; the zero-copy segment-scan path
+# (ScanPayments projection, arena vs heap page decoding) in
+# BENCH_store.json.
 bench:
 	$(GO) test -run '^$$' -bench 'Figure3|Fig3Deanon|Store' -benchmem . | tee bench.out
-	$(GO) test -run '^$$' -bench 'PagesParallel' -benchmem ./internal/ledgerstore | tee -a bench.out
 	$(GO) run ./cmd/benchjson -out BENCH_deanon.json < bench.out
 	@echo "wrote BENCH_deanon.json"
+	$(GO) test -run '^$$' -bench 'ScanPayments|PagesParallel' -benchmem ./internal/ledgerstore | tee bench_store.out
+	$(GO) run ./cmd/benchjson -out BENCH_store.json < bench_store.out
+	@echo "wrote BENCH_store.json"
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve | tee bench_serve.out
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json < bench_serve.out
 	@echo "wrote BENCH_serve.json"
 	$(GO) test -run '^$$' -bench 'Table2Replay|Pathfind' -benchmem . | tee bench_replay.out
 	$(GO) run ./cmd/benchjson -out BENCH_replay.json < bench_replay.out
 	@echo "wrote BENCH_replay.json"
+
+# Fuzz smoke: brief randomized exploration of the zero-copy decode
+# surfaces (the in-place payment scan and the arena page decoder),
+# beyond their seeded corpora. CI runs the same targets with a short
+# -fuzztime; run them longer locally when touching the codec.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzScanPayments$$' -fuzztime $(FUZZTIME) ./internal/ledger
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodePageInto$$' -fuzztime $(FUZZTIME) ./internal/ledger
 
 # Short chaos pass: fault injection, resilience, and the degraded-stream
 # integration test.

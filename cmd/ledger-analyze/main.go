@@ -41,6 +41,21 @@ func run(storeDir string, topK, workers int) error {
 		fmt.Printf("WARNING: store integrity: chainOK=%v (broken at %d), %d corrupt pages\n",
 			integrity.ChainOK, integrity.BrokenAt, integrity.PageErrors)
 	}
+	// Load (and, if needed, rebuild) the sequence-index sidecar up front
+	// so its health is visible: a corrupt or stale sidecar still works —
+	// it rebuilds transparently — but an operator should know the cache
+	// is being thrown away.
+	if _, err := store.SegmentRanges(); err != nil {
+		return err
+	}
+	if rep := store.IndexReport(); rep.Corrupt {
+		fmt.Printf("WARNING: seqindex sidecar corrupt (%s); rebuilt %d segment entries\n",
+			rep.Error, rep.Rebuilt)
+	} else if !rep.Present {
+		fmt.Println("note: seqindex sidecar absent; built fresh")
+	} else if rep.Rebuilt > 0 {
+		fmt.Printf("note: seqindex sidecar stale; rebuilt %d segment entries\n", rep.Rebuilt)
+	}
 
 	ds, err := core.OpenDataset(storeDir)
 	if err != nil {

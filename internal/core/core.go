@@ -131,12 +131,14 @@ func (ds *Dataset) ecosystem() (*analysis.Collector, error) {
 		return ds.collector, nil
 	}
 	workers := ds.workers()
-	if store, ok := ds.source.(*ledgerstore.Store); ok && workers > 1 {
+	if store, ok := ds.source.(*ledgerstore.Store); ok {
 		cols := make([]*analysis.Collector, workers)
 		for i := range cols {
 			cols[i] = analysis.NewCollector()
 		}
-		err := store.PagesParallel(context.Background(), workers, func(w int, p *ledger.Page) error {
+		// Collector.Page copies everything it keeps, so the arena-decoded
+		// scan path is safe and skips the per-page decode garbage.
+		err := store.PagesParallelArena(context.Background(), workers, func(w int, p *ledger.Page) error {
 			return cols[w].Page(p)
 		})
 		if err != nil {
@@ -221,21 +223,25 @@ func shardBitsFor(workers int) int {
 }
 
 // feedStudy streams every payment's features into the sharded study.
-// Store-backed datasets scan segments in parallel with one Feeder per
-// scan worker; in-memory datasets feed sequentially (the shard workers
-// still count concurrently).
+// Store-backed datasets take the zero-copy payment projection
+// (ledgerstore.ScanPayments) with one Feeder per scan worker — no page,
+// transaction, or metadata object is ever materialized; in-memory
+// datasets feed sequentially (the shard workers still count
+// concurrently).
 func (ds *Dataset) feedStudy(ctx context.Context, workers int, study *deanon.ParallelStudy) error {
-	if store, ok := ds.source.(*ledgerstore.Store); ok && workers > 1 {
+	if store, ok := ds.source.(*ledgerstore.Store); ok {
 		feeders := make([]*deanon.Feeder, workers)
 		for i := range feeders {
 			feeders[i] = study.Feeder()
 		}
-		return store.PagesParallel(ctx, workers, func(w int, p *ledger.Page) error {
-			for i := range p.Txs {
-				if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
-					feeders[w].Observe(f)
-				}
-			}
+		return store.ScanPayments(ctx, workers, func(w int, pv *ledger.PaymentView) error {
+			feeders[w].Observe(deanon.Features{
+				Sender:      pv.Sender,
+				Destination: pv.Destination,
+				Currency:    pv.Currency,
+				Amount:      pv.Amount,
+				Time:        pv.Time,
+			})
 			return nil
 		})
 	}
@@ -268,6 +274,7 @@ func (ds *Dataset) Figure3Parallel(ctx context.Context, workers int) ([]deanon.R
 		workers = ds.workers()
 	}
 	study := deanon.NewParallelStudy(deanon.Figure3Rows, shardBitsFor(workers))
+	defer study.Close()
 	if err := ds.feedStudy(ctx, workers, study); err != nil {
 		return nil, err
 	}
@@ -282,6 +289,7 @@ func (ds *Dataset) FeatureImportance(ctx context.Context, workers int) ([]deanon
 		workers = ds.workers()
 	}
 	imp := deanon.NewImportanceStudyParallel(shardBitsFor(workers))
+	defer imp.Close()
 	study := imp.Parallel()
 	if err := ds.feedStudy(ctx, workers, study); err != nil {
 		return nil, 0, err
@@ -308,38 +316,44 @@ func (ds *Dataset) collectFeatures(ctx context.Context) ([]deanon.Features, erro
 		})
 		return feats, err
 	}
-	type pageFeats struct {
-		seq   uint64
-		feats []deanon.Features
+	type taggedFeat struct {
+		seq uint64
+		idx int
+		f   deanon.Features
 	}
-	perWorker := make([][]pageFeats, workers)
-	err := store.PagesParallel(ctx, workers, func(w int, p *ledger.Page) error {
-		var fs []deanon.Features
-		for i := range p.Txs {
-			if f, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
-				fs = append(fs, f)
-			}
-		}
-		if len(fs) > 0 {
-			perWorker[w] = append(perWorker[w], pageFeats{seq: p.Header.Sequence, feats: fs})
-		}
+	perWorker := make([][]taggedFeat, workers)
+	err := store.ScanPayments(ctx, workers, func(w int, pv *ledger.PaymentView) error {
+		perWorker[w] = append(perWorker[w], taggedFeat{
+			seq: pv.Seq,
+			idx: pv.Index,
+			f: deanon.Features{
+				Sender:      pv.Sender,
+				Destination: pv.Destination,
+				Currency:    pv.Currency,
+				Amount:      pv.Amount,
+				Time:        pv.Time,
+			},
+		})
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var chunks []pageFeats
-	total := 0
+	var tagged []taggedFeat
 	for _, pw := range perWorker {
-		for _, c := range pw {
-			chunks = append(chunks, c)
-			total += len(c.feats)
-		}
+		tagged = append(tagged, pw...)
 	}
-	sort.Slice(chunks, func(i, j int) bool { return chunks[i].seq < chunks[j].seq })
-	feats := make([]deanon.Features, 0, total)
-	for _, c := range chunks {
-		feats = append(feats, c.feats...)
+	// (sequence, intra-page index) is unique per payment, so sorting
+	// restores exact history order regardless of worker interleaving.
+	sort.Slice(tagged, func(i, j int) bool {
+		if tagged[i].seq != tagged[j].seq {
+			return tagged[i].seq < tagged[j].seq
+		}
+		return tagged[i].idx < tagged[j].idx
+	})
+	feats := make([]deanon.Features, 0, len(tagged))
+	for _, tf := range tagged {
+		feats = append(feats, tf.f)
 	}
 	return feats, nil
 }
@@ -535,7 +549,17 @@ func (ds *Dataset) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	pages := 0
-	if err := ds.source.Pages(func(*ledger.Page) error { pages++; return nil }); err != nil {
+	if store, ok := ds.source.(*ledgerstore.Store); ok {
+		// The sequence index answers the page count from the sidecar (one
+		// stat per segment when warm) instead of re-decoding the history.
+		ranges, err := store.SegmentRanges()
+		if err != nil {
+			return Stats{}, err
+		}
+		for _, sr := range ranges {
+			pages += sr.Pages
+		}
+	} else if err := ds.source.Pages(func(*ledger.Page) error { pages++; return nil }); err != nil {
 		return Stats{}, err
 	}
 	return Stats{

@@ -23,6 +23,10 @@ type countTable struct {
 	// used is the number of occupied slots (excluding the zero key).
 	used      int
 	zeroCount uint8
+	// uniques is the number of fingerprints currently at count exactly 1,
+	// maintained incrementally by incrCount so reading it is O(1) instead
+	// of an O(capacity) table scan per Results call.
+	uniques int
 }
 
 const (
@@ -41,6 +45,62 @@ func newCountTable() *countTable {
 	}
 }
 
+// countTablePool recycles tables across studies. A Figure 3 run over
+// the full history grows each shard table to megabytes; a serving layer
+// that rebuilds studies on a refresh cadence would otherwise churn that
+// allocation (and the GC) on every cycle.
+var countTablePool = struct {
+	mu   chan struct{} // 1-slot semaphore; avoids sync.Pool's per-P drift
+	free []*countTable
+}{mu: make(chan struct{}, 1)}
+
+// maxPooledSlots bounds the capacity of tables kept in the pool so one
+// pathological study can't pin an arbitrarily large table forever.
+const maxPooledSlots = 1 << 21
+
+// getCountTable returns a zeroed table, reusing pooled capacity.
+func getCountTable() *countTable {
+	countTablePool.mu <- struct{}{}
+	n := len(countTablePool.free)
+	var t *countTable
+	if n > 0 {
+		t = countTablePool.free[n-1]
+		countTablePool.free[n-1] = nil
+		countTablePool.free = countTablePool.free[:n-1]
+	}
+	<-countTablePool.mu
+	if t == nil {
+		return newCountTable()
+	}
+	return t
+}
+
+// release resets the table and returns it to the pool. The caller must
+// not use it afterwards.
+func (t *countTable) release() {
+	if len(t.keys) > maxPooledSlots {
+		return
+	}
+	t.reset()
+	countTablePool.mu <- struct{}{}
+	countTablePool.free = append(countTablePool.free, t)
+	<-countTablePool.mu
+}
+
+// reset zeroes the table in place, keeping its capacity. The two
+// range-clears compile to memclr.
+func (t *countTable) reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+	}
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	t.used = 0
+	t.zeroCount = 0
+	t.uniques = 0
+}
+
 // incr bumps fp's saturating counter.
 func (t *countTable) incr(fp Fingerprint) { t.incrCount(fp) }
 
@@ -55,6 +115,12 @@ func (t *countTable) incrCount(fp Fingerprint) uint8 {
 		if t.zeroCount < countSaturated {
 			t.zeroCount++
 		}
+		switch prev {
+		case 0:
+			t.uniques++
+		case 1:
+			t.uniques--
+		}
 		return prev
 	}
 	i := uint64(fp) & t.mask
@@ -65,11 +131,15 @@ func (t *countTable) incrCount(fp Fingerprint) uint8 {
 			if t.counts[i] < countSaturated {
 				t.counts[i]++
 			}
+			if prev == 1 {
+				t.uniques--
+			}
 			return prev
 		case 0:
 			t.keys[i] = fp
 			t.counts[i] = 1
 			t.used++
+			t.uniques++
 			if t.used*countTableLoadDen > len(t.keys)*countTableLoadNum {
 				t.grow()
 			}
@@ -107,6 +177,7 @@ func (t *countTable) clone() *countTable {
 		mask:      t.mask,
 		used:      t.used,
 		zeroCount: t.zeroCount,
+		uniques:   t.uniques,
 	}
 	copy(c.keys, t.keys)
 	copy(c.counts, t.counts)
@@ -132,8 +203,13 @@ func (t *countTable) grow() {
 	}
 }
 
-// unique returns the number of fingerprints seen exactly once.
-func (t *countTable) unique() int {
+// unique returns the number of fingerprints seen exactly once —
+// maintained incrementally by incrCount, so reading it is O(1).
+func (t *countTable) unique() int { return t.uniques }
+
+// uniqueScan recomputes unique() from the slots; the O(capacity)
+// reference implementation the incremental counter is tested against.
+func (t *countTable) uniqueScan() int {
 	n := 0
 	for i, k := range t.keys {
 		if k != 0 && t.counts[i] == 1 {

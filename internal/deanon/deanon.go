@@ -258,13 +258,19 @@ var Figure3Rows = []Resolution{
 // transactions whose sender address field S can be uniquely identified."
 type Study struct {
 	resolutions []Resolution
+	plan        *FingerprintPlan
 	counts      []map[Fingerprint]uint32
 	payments    int
+	fps         []Fingerprint // per-payment scratch
 }
 
 // NewStudy prepares a study over the given resolutions.
 func NewStudy(resolutions []Resolution) *Study {
-	s := &Study{resolutions: resolutions}
+	s := &Study{
+		resolutions: resolutions,
+		plan:        NewFingerprintPlan(resolutions),
+		fps:         make([]Fingerprint, 0, len(resolutions)),
+	}
 	for range resolutions {
 		s.counts = append(s.counts, make(map[Fingerprint]uint32))
 	}
@@ -272,13 +278,14 @@ func NewStudy(resolutions []Resolution) *Study {
 }
 
 // Observe folds one payment into every resolution's fingerprint counts.
-// The features are encoded once and fingerprinted per resolution from
-// the shared encoding.
+// The features are encoded once and fingerprinted for all resolutions in
+// one planned pass over the shared encoding.
 func (s *Study) Observe(f Features) {
 	s.payments++
 	enc := EncodeFeatures(f)
+	s.fps = enc.AppendFingerprints(s.plan, s.fps[:0])
 	for i := range s.resolutions {
-		s.counts[i][enc.Fingerprint(s.resolutions[i])]++
+		s.counts[i][s.fps[i]]++
 	}
 }
 
@@ -382,6 +389,15 @@ func (s *ImportanceStudy) Parallel() *ParallelStudy {
 
 // Observe folds one payment in.
 func (s *ImportanceStudy) Observe(f Features) { s.study.Observe(f) }
+
+// Close releases a parallel-backed importance study's count tables to
+// the package pool (see ParallelStudy.Close); it is a no-op for the
+// map-backed sequential form. Call after the last Results read.
+func (s *ImportanceStudy) Close() {
+	if ps := s.Parallel(); ps != nil {
+		ps.Close()
+	}
+}
 
 // FullIG returns the full-fingerprint information gain.
 func (s *ImportanceStudy) FullIG() float64 { return s.study.Results()[0].IG }

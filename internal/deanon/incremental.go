@@ -20,9 +20,11 @@ package deanon
 // immutable Clones for readers (epoch snapshots).
 type IncStudy struct {
 	resolutions []Resolution
+	plan        *FingerprintPlan
 	tables      []*countTable
 	unique      []int
 	payments    int
+	fps         []Fingerprint // per-payment scratch
 }
 
 // NewIncStudy prepares an incremental study over the given resolutions.
@@ -31,6 +33,8 @@ func NewIncStudy(resolutions []Resolution) *IncStudy {
 		resolutions: append([]Resolution(nil), resolutions...),
 		unique:      make([]int, len(resolutions)),
 	}
+	s.plan = NewFingerprintPlan(s.resolutions)
+	s.fps = make([]Fingerprint, 0, len(resolutions))
 	for range resolutions {
 		s.tables = append(s.tables, newCountTable())
 	}
@@ -38,13 +42,14 @@ func NewIncStudy(resolutions []Resolution) *IncStudy {
 }
 
 // Observe folds one payment into every resolution's counts, maintaining
-// the running unique-counts. The features are encoded once; each
-// resolution reuses the encoding.
+// the running unique-counts. The features are encoded once and
+// fingerprinted for all resolutions in one planned pass.
 func (s *IncStudy) Observe(f Features) {
 	s.payments++
 	enc := EncodeFeatures(f)
+	s.fps = enc.AppendFingerprints(s.plan, s.fps[:0])
 	for i := range s.resolutions {
-		switch s.tables[i].incrCount(enc.Fingerprint(s.resolutions[i])) {
+		switch s.tables[i].incrCount(s.fps[i]) {
 		case 0:
 			s.unique[i]++
 		case 1:
@@ -112,8 +117,10 @@ func (s *IncStudy) CountBytes() int {
 func (s *IncStudy) Clone() *IncStudy {
 	c := &IncStudy{
 		resolutions: s.resolutions,
+		plan:        s.plan, // immutable, safe to share
 		unique:      append([]int(nil), s.unique...),
 		payments:    s.payments,
+		fps:         make([]Fingerprint, 0, len(s.resolutions)),
 	}
 	for _, t := range s.tables {
 		c.tables = append(c.tables, t.clone())

@@ -28,6 +28,7 @@ import (
 // Results may be called repeatedly, but no Observe may follow it.
 type ParallelStudy struct {
 	resolutions []Resolution
+	plan        *FingerprintPlan
 	shardShift  uint
 	shards      []*studyShard
 	payments    atomic.Int64
@@ -79,12 +80,13 @@ func NewParallelStudy(resolutions []Resolution, shardBits int) *ParallelStudy {
 	}
 	s := &ParallelStudy{
 		resolutions: resolutions,
+		plan:        NewFingerprintPlan(resolutions),
 		shardShift:  uint(64 - shardBits),
 	}
 	for i := 0; i < 1<<shardBits; i++ {
 		sh := &studyShard{ch: make(chan []obsEntry, 4)}
 		for range resolutions {
-			sh.counts = append(sh.counts, newCountTable())
+			sh.counts = append(sh.counts, getCountTable())
 		}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
@@ -121,7 +123,8 @@ func (s *ParallelStudy) Shards() int { return len(s.shards) }
 // concurrently.
 type Feeder struct {
 	s    *ParallelStudy
-	bufs [][]obsEntry // pending batch per shard
+	bufs [][]obsEntry  // pending batch per shard
+	fps  []Fingerprint // per-payment fingerprint scratch
 }
 
 // Feeder registers a new producer handle. It panics after Results has
@@ -132,7 +135,11 @@ func (s *ParallelStudy) Feeder() *Feeder {
 	if s.finished {
 		panic("deanon: ParallelStudy.Feeder after Results")
 	}
-	fd := &Feeder{s: s, bufs: make([][]obsEntry, len(s.shards))}
+	fd := &Feeder{
+		s:    s,
+		bufs: make([][]obsEntry, len(s.shards)),
+		fps:  make([]Fingerprint, 0, len(s.resolutions)),
+	}
 	for i := range fd.bufs {
 		fd.bufs[i] = s.getBatch()
 	}
@@ -146,8 +153,8 @@ func (fd *Feeder) Observe(f Features) {
 	s := fd.s
 	s.payments.Add(1)
 	enc := EncodeFeatures(f)
-	for i := range s.resolutions {
-		fp := enc.Fingerprint(s.resolutions[i])
+	fd.fps = enc.AppendFingerprints(s.plan, fd.fps[:0])
+	for i, fp := range fd.fps {
 		sh := int(uint64(fp) >> s.shardShift)
 		fd.bufs[sh] = append(fd.bufs[sh], obsEntry{res: uint16(i), fp: fp})
 		if len(fd.bufs[sh]) == cap(fd.bufs[sh]) {
@@ -186,6 +193,25 @@ func (s *ParallelStudy) drain() {
 		}
 		s.wg.Wait()
 	})
+}
+
+// Close drains the study and returns its count tables to the package
+// pool, so callers that rebuild studies repeatedly (the serve refresh
+// cadence, benchmark loops) reuse the fully-grown tables instead of
+// reallocating and re-growing them every cycle. Call it after the last
+// Results/DistinctFingerprints/CountBytes read; the study is unusable
+// afterwards. Close is idempotent. Snapshots taken via clone are
+// independent copies and stay valid.
+func (s *ParallelStudy) Close() {
+	s.drain()
+	for _, sh := range s.shards {
+		for i, t := range sh.counts {
+			if t != nil {
+				t.release()
+				sh.counts[i] = nil
+			}
+		}
+	}
 }
 
 // Results computes the IG for every resolution. The first call drains

@@ -197,15 +197,49 @@ func (tx *Tx) Encode(buf []byte) []byte {
 	return e.buf
 }
 
-// DecodeTx decodes one transaction from data and returns it together with
-// the number of bytes consumed.
-func DecodeTx(data []byte) (*Tx, int, error) {
+// Fixed layout of the transaction encoding: every field up to the two
+// trailing length-prefixed byte strings has a constant offset, which the
+// zero-copy projection scan (scan.go) exploits to read single fields
+// without decoding their neighbours.
+const (
+	txOffType        = 1   // after the version byte
+	txOffAccount     = 2   // 20-byte sender
+	txOffSequence    = 22  // u32
+	txOffFee         = 26  // u64
+	txOffDestination = 34  // 20-byte destination
+	txOffAmount      = 54  // 3-byte currency ∥ 11-byte value
+	txOffSendMax     = 88  // second amount field (after DestIssuer)
+	txFixedBytes     = 228 // everything before SigningKey's length prefix
+
+	amountBytes = 3 + 1 + 8 + 2 // currency ∥ sign ∥ mantissa ∥ exponent
+)
+
+// bytesInto is decoder.bytes with the copy carved from an arena slab
+// (nil arena falls back to a heap allocation).
+func (d *decoder) bytesInto(a *PageArena) []byte {
+	if a == nil {
+		return d.bytes()
+	}
+	n := int(d.u16())
+	if n == 0 {
+		return nil
+	}
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return a.grabBytes(b)
+}
+
+// decodeTxInto decodes one transaction from data into tx, drawing
+// byte-slice fields from the arena when one is supplied. It returns the
+// number of bytes consumed.
+func decodeTxInto(data []byte, tx *Tx, a *PageArena) (int, error) {
 	d := decoder{buf: data}
 	ver := d.u8()
 	if d.err == nil && ver != txCodecVersion {
-		return nil, 0, fmt.Errorf("ledger: tx codec version %d, want %d", ver, txCodecVersion)
+		return 0, fmt.Errorf("ledger: tx codec version %d, want %d", ver, txCodecVersion)
 	}
-	var tx Tx
 	tx.Type = TxType(d.u8())
 	tx.Account = d.account()
 	tx.Sequence = d.u32()
@@ -222,12 +256,23 @@ func DecodeTx(data []byte) (*Tx, int, error) {
 	tx.OfferSequence = d.u32()
 	tx.LimitPeer = d.account()
 	tx.Limit = d.amount()
-	tx.SigningKey = d.bytes()
-	tx.Signature = d.bytes()
+	tx.SigningKey = d.bytesInto(a)
+	tx.Signature = d.bytesInto(a)
 	if d.err != nil {
-		return nil, 0, d.err
+		return 0, d.err
 	}
-	return &tx, d.off, nil
+	return d.off, nil
+}
+
+// DecodeTx decodes one transaction from data and returns it together with
+// the number of bytes consumed.
+func DecodeTx(data []byte) (*Tx, int, error) {
+	var tx Tx
+	used, err := decodeTxInto(data, &tx, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &tx, used, nil
 }
 
 // EncodeMeta appends the canonical serialization of m to buf.
@@ -256,28 +301,53 @@ func (m *TxMeta) EncodeMeta(buf []byte) []byte {
 	return e.buf
 }
 
-// DecodeMeta decodes one TxMeta from data, returning bytes consumed.
-func DecodeMeta(data []byte) (*TxMeta, int, error) {
+// decodeMetaInto decodes one TxMeta from data into m, drawing slices
+// from the arena when one is supplied. It returns bytes consumed.
+func decodeMetaInto(data []byte, m *TxMeta, a *PageArena) (int, error) {
 	d := decoder{buf: data}
-	var m TxMeta
 	m.Result = TxResult(d.u8())
 	m.Delivered = d.amount()
 	if nPaths := int(d.u8()); nPaths > 0 {
 		if hops := d.take(nPaths); hops != nil {
-			m.PathHops = make([]uint8, nPaths)
-			copy(m.PathHops, hops)
+			if a != nil {
+				m.PathHops = a.grabHops(hops)
+			} else {
+				m.PathHops = make([]uint8, nPaths)
+				copy(m.PathHops, hops)
+			}
 		}
 	}
 	m.OffersConsumed = d.u32()
 	m.CrossCurrency = d.u8() == 1
 	if n := int(d.u16()); n > 0 && d.err == nil {
-		m.Intermediaries = make([]addr.AccountID, 0, n)
-		for i := 0; i < n; i++ {
-			m.Intermediaries = append(m.Intermediaries, d.account())
+		if d.off+20*n > len(d.buf) {
+			// The claimed list cannot fit in the remaining input; fail
+			// before reserving space for it.
+			return 0, ErrTruncated
 		}
+		var out []addr.AccountID
+		if a != nil {
+			out = a.grabAccounts(n)
+		} else {
+			out = make([]addr.AccountID, n)
+		}
+		for i := 0; i < n; i++ {
+			out[i] = d.account()
+		}
+		m.Intermediaries = out
 	}
 	if d.err != nil {
-		return nil, 0, d.err
+		return 0, d.err
 	}
-	return &m, d.off, nil
+	return d.off, nil
+}
+
+// DecodeMeta decodes one TxMeta from data, returning bytes consumed.
+func DecodeMeta(data []byte) (*TxMeta, int, error) {
+	var m TxMeta
+	used, err := decodeMetaInto(data, &m, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &m, used, nil
 }

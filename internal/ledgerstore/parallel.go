@@ -8,23 +8,11 @@ import (
 	"ripplestudy/internal/ledger"
 )
 
-// PagesParallel streams every stored page to fn, decoding segments
-// concurrently on up to `workers` goroutines. It is the scan behind the
-// Figure 3 pipeline at full-history scale, where a single goroutine
-// spends most of its time in DecodePage.
-//
-// Ordering: pages within one segment arrive in append order, but
-// segments are interleaved arbitrarily across workers — callers needing
-// global order must use Pages or reorder by header sequence. fn is
-// called concurrently from up to `workers` goroutines; the worker index
-// (0 ≤ w < workers) identifies the calling goroutine so callers can
-// keep per-worker state (e.g. one deanon.Feeder each) without locking.
-//
-// The first error — fn's, a decode failure, or ctx cancellation — stops
-// all workers and is returned. A workers value < 1 defaults to
-// GOMAXPROCS. Like Pages, a truncated final record is tolerated and a
-// checksum mismatch returns ErrCorrupted.
-func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker int, p *ledger.Page) error) error {
+// forEachSegmentParallel runs `run` once per segment file on up to
+// `workers` goroutines, cancelling everything on the first error and
+// returning it. workers < 1 defaults to GOMAXPROCS. run's worker index
+// satisfies 0 ≤ w < workers.
+func (s *Store) forEachSegmentParallel(ctx context.Context, workers int, run func(ctx context.Context, w int, seg string) error) error {
 	if err := s.closeCurrent(); err != nil {
 		return err
 	}
@@ -39,15 +27,11 @@ func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker i
 		workers = len(segs)
 	}
 	if workers <= 1 {
-		var buf []byte
 		for _, seg := range segs {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			var err error
-			if buf, err = streamSegmentBuf(seg, buf, func(p *ledger.Page) error {
-				return fn(0, p)
-			}); err != nil {
+			if err := run(ctx, 0, seg); err != nil {
 				return err
 			}
 		}
@@ -74,19 +58,8 @@ func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// One decode buffer per worker, reused across all the
-			// segments the worker pulls — the frame reader grows it
-			// geometrically and never gives it back.
-			var buf []byte
 			for seg := range work {
-				var err error
-				buf, err = streamSegmentBuf(seg, buf, func(p *ledger.Page) error {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					return fn(w, p)
-				})
-				if err != nil {
+				if err := run(ctx, w, seg); err != nil {
 					fail(err)
 					return
 				}
@@ -108,4 +81,86 @@ feed:
 	// still has to surface.
 	fail(ctx.Err())
 	return firstErr
+}
+
+// PagesParallel streams every stored page to fn, decoding segments
+// concurrently on up to `workers` goroutines.
+//
+// Ordering: pages within one segment arrive in append order, but
+// segments are interleaved arbitrarily across workers — callers needing
+// global order must use Pages or reorder by header sequence. fn is
+// called concurrently from up to `workers` goroutines; the worker index
+// (0 ≤ w < workers) identifies the calling goroutine so callers can
+// keep per-worker state (e.g. one deanon.Feeder each) without locking.
+//
+// The first error — fn's, a decode failure, or ctx cancellation — stops
+// all workers and is returned. A workers value < 1 defaults to
+// GOMAXPROCS. Like Pages, a truncated final record is tolerated and a
+// checksum mismatch returns ErrCorrupted. Pages are heap-decoded and
+// safe to retain; scans that release pages before returning should use
+// PagesParallelArena instead and skip the decode garbage.
+func (s *Store) PagesParallel(ctx context.Context, workers int, fn func(worker int, p *ledger.Page) error) error {
+	return s.forEachSegmentParallel(ctx, workers, func(ctx context.Context, w int, seg string) error {
+		return streamSegment(seg, func(p *ledger.Page) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fn(w, p)
+		})
+	})
+}
+
+// PagesParallelArena is PagesParallel with per-worker arena decoding:
+// each worker owns one ledger.PageArena reused for every page it
+// decodes, so a steady-state scan allocates almost nothing.
+//
+// Recycling contract: the page passed to fn (and every transaction,
+// metadata record, and byte slice reachable from it) is valid only
+// until fn returns — the worker's next decode resets the arena. fn must
+// copy anything it keeps. Consumers that retain pages (the serve
+// backfill queues, for example) must use PagesParallel instead.
+func (s *Store) PagesParallelArena(ctx context.Context, workers int, fn func(worker int, p *ledger.Page) error) error {
+	return s.forEachSegmentParallel(ctx, workers, func(ctx context.Context, w int, seg string) error {
+		a := arenaPool.Get().(*ledger.PageArena)
+		defer arenaPool.Put(a)
+		return streamSegmentArena(seg, a, func(p *ledger.Page) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fn(w, p)
+		})
+	})
+}
+
+// arenaPool recycles decode arenas across scans so repeated
+// PagesParallelArena/ScanPayments calls (the live serve layer's
+// refresh cadence) reuse warmed slabs.
+var arenaPool = sync.Pool{New: func() any { return new(ledger.PageArena) }}
+
+// ScanPayments streams every successful payment in the store through
+// the zero-copy projection (ledger.ScanPayments) on up to `workers`
+// goroutines — the fastest way to feed payment-only consumers like the
+// Figure 3 de-anonymization sweep: no *Page, *Tx, or *TxMeta is ever
+// materialized.
+//
+// The *ledger.PaymentView passed to fn is reused by that worker and
+// valid only inside the call; all its fields are plain values, so
+// copying what's needed is cheap. Ordering and error semantics match
+// PagesParallel (per-segment order, arbitrary interleaving across
+// segments, first error wins).
+func (s *Store) ScanPayments(ctx context.Context, workers int, fn func(worker int, pv *ledger.PaymentView) error) error {
+	return s.forEachSegmentParallel(ctx, workers, func(ctx context.Context, w int, seg string) error {
+		n := 0
+		return scanSegmentPayments(seg, func(pv *ledger.PaymentView) error {
+			// Poll cancellation every few hundred payments, not every
+			// payment: the projection callback is only tens of
+			// nanoseconds of work.
+			if n++; n&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			return fn(w, pv)
+		})
+	})
 }

@@ -1,0 +1,41 @@
+//go:build (linux || darwin) && !ledgerstore_nommap
+
+package ledgerstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapSegment memory-maps path read-only and returns the mapped bytes
+// with their unmap function. Segments are append-only and readers
+// reopen them after the writer's flush, so a private read-only mapping
+// is always coherent. Empty files cannot be mapped; the caller falls
+// back to ReadFile (which yields the same zero records).
+//
+// Build the package with -tags ledgerstore_nommap to force the portable
+// ReadFile path on every open.
+func mapSegment(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil, nil, errMmapUnavailable
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, nil, fmt.Errorf("ledgerstore: segment %s too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -22,7 +22,10 @@ import (
 // segment's current size matches the recorded size; stale or missing
 // entries are rebuilt by scanning just that segment, and the sidecar
 // is rewritten. The store never *requires* the sidecar: deleting it
-// merely costs one full rebuild scan.
+// merely costs one full rebuild scan. Rebuilds are not silent, though —
+// a sidecar that is missing, unparseable, or stale is reported through
+// IndexReport/Stats so operators can tell a healthy cache from one
+// that is being thrown away on every open.
 const SeqIndexFile = "seqindex.json"
 
 // SegmentRange describes one segment's coverage in the sequence index.
@@ -38,20 +41,41 @@ type seqIndexDoc struct {
 	Segments []SegmentRange `json:"segments"`
 }
 
-func loadSeqIndex(dir string) map[string]SegmentRange {
+// IndexLoadReport describes the health of the seqindex.json sidecar as
+// of the last load: whether it was present and parseable, and how many
+// segments had to be rescanned because their entries were stale or
+// missing. A corrupt sidecar is not an error — the index rebuilds — but
+// it is surfaced here (and via Stats) instead of being swallowed.
+type IndexLoadReport struct {
+	// Present is true when the sidecar file exists.
+	Present bool `json:"present"`
+	// Corrupt is true when the sidecar exists but failed to parse; Error
+	// holds the parse error text.
+	Corrupt bool   `json:"corrupt"`
+	Error   string `json:"error,omitempty"`
+	// Rebuilt counts segments rescanned on the last SegmentRanges call
+	// because their sidecar entries were missing or stale.
+	Rebuilt int `json:"rebuilt"`
+}
+
+func loadSeqIndex(dir string) (map[string]SegmentRange, IndexLoadReport) {
+	var rep IndexLoadReport
 	data, err := os.ReadFile(filepath.Join(dir, SeqIndexFile))
 	if err != nil {
-		return nil
+		return nil, rep // absent sidecar: clean rebuild, nothing to report
 	}
+	rep.Present = true
 	var doc seqIndexDoc
-	if json.Unmarshal(data, &doc) != nil {
-		return nil // malformed sidecar: rebuild from scratch
+	if err := json.Unmarshal(data, &doc); err != nil {
+		rep.Corrupt = true
+		rep.Error = err.Error()
+		return nil, rep
 	}
 	byFile := make(map[string]SegmentRange, len(doc.Segments))
 	for _, sr := range doc.Segments {
 		byFile[sr.File] = sr
 	}
-	return byFile
+	return byFile, rep
 }
 
 func saveSeqIndex(dir string, ranges []SegmentRange) {
@@ -70,11 +94,18 @@ func saveSeqIndex(dir string, ranges []SegmentRange) {
 	}
 }
 
-// scanSegmentRange builds a segment's index entry by streaming it once.
+// scanSegmentRange builds a segment's index entry by walking its record
+// frames once. Only headers are decoded — the CRC pass still covers the
+// full payload, but rebuilding the index no longer pays for decoding
+// every transaction in the store.
 func scanSegmentRange(path string, size int64) (SegmentRange, error) {
 	sr := SegmentRange{File: filepath.Base(path), Bytes: size}
-	err := streamSegment(path, func(p *ledger.Page) error {
-		seq := p.Header.Sequence
+	err := forEachRecord(path, func(payload []byte) error {
+		h, _, err := ledger.DecodeHeader(payload)
+		if err != nil {
+			return fmt.Errorf("ledgerstore: decoding page header in %s: %w", path, err)
+		}
+		seq := h.Sequence
 		if sr.Pages == 0 {
 			sr.MinSeq, sr.MaxSeq = seq, seq
 		} else {
@@ -91,6 +122,11 @@ func scanSegmentRange(path string, size int64) (SegmentRange, error) {
 	return sr, err
 }
 
+// IndexReport returns the sidecar health observed by the most recent
+// SegmentRanges call (directly or via LastSeq/PagesRange/Stats). The
+// zero value means the index has not been loaded yet this session.
+func (s *Store) IndexReport() IndexLoadReport { return s.indexReport }
+
 // SegmentRanges returns the per-segment sequence coverage, in segment
 // order, rebuilding any sidecar entries that are missing or stale and
 // persisting the refreshed sidecar. The open segment (if any) is
@@ -103,9 +139,8 @@ func (s *Store) SegmentRanges() ([]SegmentRange, error) {
 	if err != nil {
 		return nil, err
 	}
-	cached := loadSeqIndex(s.dir)
+	cached, rep := loadSeqIndex(s.dir)
 	ranges := make([]SegmentRange, 0, len(segs))
-	dirty := false
 	for _, seg := range segs {
 		info, err := os.Stat(seg)
 		if err != nil {
@@ -121,11 +156,12 @@ func (s *Store) SegmentRanges() ([]SegmentRange, error) {
 			return nil, err
 		}
 		ranges = append(ranges, sr)
-		dirty = true
+		rep.Rebuilt++
 	}
-	if dirty || len(cached) != len(segs) {
+	if rep.Rebuilt > 0 || len(cached) != len(segs) {
 		saveSeqIndex(s.dir, ranges)
 	}
+	s.indexReport = rep
 	return ranges, nil
 }
 
@@ -152,36 +188,130 @@ func (s *Store) LastSeq() (seq uint64, ok bool, err error) {
 // upper bound has been passed.
 var errStopSegment = errors.New("ledgerstore: past range")
 
-// PagesRange streams, in append order, every page whose header sequence
-// lies in [lo, hi] (inclusive). Segments entirely outside the range are
-// never opened — the point of the sequence index: replaying from a 70%
-// snapshot touches ~30% of the store. fn's errors propagate as in
-// Pages; ErrStop stops cleanly.
-func (s *Store) PagesRange(lo, hi uint64, fn func(*ledger.Page) error) error {
+// rangeSegments returns the index entries overlapping [lo, hi], or nil
+// when the range is empty.
+func (s *Store) rangeSegments(lo, hi uint64) ([]SegmentRange, error) {
 	if hi < lo {
-		return nil
+		return nil, nil
 	}
 	ranges, err := s.SegmentRanges()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	var buf []byte
+	out := ranges[:0:0]
 	for _, sr := range ranges {
 		if sr.Pages == 0 || sr.MaxSeq < lo || sr.MinSeq > hi {
 			continue
 		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// PagesRange streams, in append order, every page whose header sequence
+// lies in [lo, hi] (inclusive). Segments entirely outside the range are
+// never opened — the point of the sequence index: replaying from a 70%
+// snapshot touches ~30% of the store. Within a boundary segment, pages
+// below the range are skipped after a header-only peek, without
+// decoding their transactions. fn's errors propagate as in Pages;
+// ErrStop stops cleanly.
+func (s *Store) PagesRange(lo, hi uint64, fn func(*ledger.Page) error) error {
+	return s.pagesRange(lo, hi, nil, fn)
+}
+
+// PagesRangeArena is PagesRange decoding through the caller's arena:
+// each page is valid only until fn returns. A nil arena allocates one.
+func (s *Store) PagesRangeArena(lo, hi uint64, a *ledger.PageArena, fn func(*ledger.Page) error) error {
+	if a == nil {
+		a = new(ledger.PageArena)
+	}
+	return s.pagesRange(lo, hi, a, fn)
+}
+
+// PagesRangeRecycled streams the pages in [lo, hi] with per-page arena
+// decoding and explicit recycling: each page is decoded into an arena
+// drawn from the package pool and handed to fn together with a release
+// closure. The page stays valid — independently of any later decode or
+// of the segment mapping — until release is called, at which point its
+// arena returns to the pool and the page is dead. This is the
+// ownership-transfer variant of PagesRangeArena for pipelined consumers
+// (the replay decode-ahead stream) that buffer pages across goroutines:
+// call release exactly once per page, when done with it. Not calling it
+// is safe but forfeits recycling; calling it twice corrupts the pool.
+func (s *Store) PagesRangeRecycled(lo, hi uint64, fn func(p *ledger.Page, release func()) error) error {
+	segs, err := s.rangeSegments(lo, hi)
+	if err != nil || len(segs) == 0 {
+		return err
+	}
+	for _, sr := range segs {
 		path := filepath.Join(s.dir, sr.File)
-		buf, err = streamSegmentBuf(path, buf, func(p *ledger.Page) error {
-			seq := p.Header.Sequence
-			if seq < lo {
+		err := forEachRecord(path, func(payload []byte) error {
+			h, _, err := ledger.DecodeHeader(payload)
+			if err != nil {
+				return fmt.Errorf("ledgerstore: decoding page header in %s: %w", path, err)
+			}
+			if h.Sequence < lo {
 				return nil
 			}
-			if seq > hi {
+			if h.Sequence > hi {
+				return errStopSegment
+			}
+			a := arenaPool.Get().(*ledger.PageArena)
+			page, used, err := ledger.DecodePageInto(payload, a)
+			if err != nil {
+				arenaPool.Put(a)
+				return fmt.Errorf("ledgerstore: decoding page in %s: %w", path, err)
+			}
+			if used != len(payload) {
+				arenaPool.Put(a)
+				return fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupted, len(payload)-used)
+			}
+			return fn(page, func() { arenaPool.Put(a) })
+		})
+		if errors.Is(err, errStopSegment) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) pagesRange(lo, hi uint64, a *ledger.PageArena, fn func(*ledger.Page) error) error {
+	segs, err := s.rangeSegments(lo, hi)
+	if err != nil || len(segs) == 0 {
+		return err
+	}
+	for _, sr := range segs {
+		path := filepath.Join(s.dir, sr.File)
+		err := forEachRecord(path, func(payload []byte) error {
+			h, _, err := ledger.DecodeHeader(payload)
+			if err != nil {
+				return fmt.Errorf("ledgerstore: decoding page header in %s: %w", path, err)
+			}
+			if h.Sequence < lo {
+				return nil // before the range: skip without decoding
+			}
+			if h.Sequence > hi {
 				// Pages append in ledger order, so nothing later in this
 				// segment can be in range.
 				return errStopSegment
 			}
-			return fn(p)
+			var page *ledger.Page
+			if a != nil {
+				var used int
+				page, used, err = ledger.DecodePageInto(payload, a)
+				if err != nil {
+					return fmt.Errorf("ledgerstore: decoding page in %s: %w", path, err)
+				}
+				if used != len(payload) {
+					return fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupted, len(payload)-used)
+				}
+			} else if page, err = decodeRecordPage(path, payload); err != nil {
+				return err
+			}
+			return fn(page)
 		})
 		if errors.Is(err, errStopSegment) {
 			return nil

@@ -63,6 +63,10 @@ type Store struct {
 	curBuf  *bufio.Writer
 	curSize int64
 	nextSeg int
+
+	// indexReport records the seqindex sidecar's health as observed by
+	// the last SegmentRanges call (see IndexReport).
+	indexReport IndexLoadReport
 }
 
 // Create initializes a new store in dir, which must be empty or absent.
@@ -185,7 +189,9 @@ func (s *Store) Dir() string { return s.dir }
 // Pages streams every stored page, in append order, to fn. Iteration
 // stops early if fn returns a non-nil error, which is propagated. A
 // truncated final record terminates iteration silently (crash-tolerant
-// tail); a checksum mismatch returns ErrCorrupted.
+// tail); a checksum mismatch returns ErrCorrupted. Pages are decoded
+// onto the heap, so fn may retain them; scans that don't need that use
+// PagesArena or ScanPayments and skip the per-page allocations.
 func (s *Store) Pages(fn func(*ledger.Page) error) error {
 	if err := s.closeCurrent(); err != nil {
 		return err
@@ -194,81 +200,34 @@ func (s *Store) Pages(fn func(*ledger.Page) error) error {
 	if err != nil {
 		return err
 	}
-	var buf []byte
 	for _, seg := range segs {
-		if buf, err = streamSegmentBuf(seg, buf, fn); err != nil {
+		if err := streamSegment(seg, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func streamSegment(path string, fn func(*ledger.Page) error) error {
-	_, err := streamSegmentBuf(path, nil, fn)
-	return err
-}
-
-// streamSegmentBuf is streamSegment with a caller-provided payload
-// buffer, returned (possibly grown) so callers can reuse it across
-// segments. Growth is geometric: a record slightly larger than every
-// predecessor costs one reallocation, not a fresh exact-size allocation
-// per escalation.
-func streamSegmentBuf(path string, payload []byte, fn func(*ledger.Page) error) ([]byte, error) {
-	f, err := os.Open(path)
+// PagesArena streams every stored page, in append order, decoding
+// through the caller's arena: each page is valid only until fn returns
+// (the next decode resets the arena). A nil arena allocates one.
+func (s *Store) PagesArena(a *ledger.PageArena, fn func(*ledger.Page) error) error {
+	if err := s.closeCurrent(); err != nil {
+		return err
+	}
+	segs, err := segmentFiles(s.dir)
 	if err != nil {
-		return payload, fmt.Errorf("ledgerstore: opening %s: %w", path, err)
+		return err
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
-	var lenBuf [4]byte
-	for {
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF {
-				return payload, nil
-			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return payload, nil // truncated tail: tolerate
-			}
-			return payload, fmt.Errorf("ledgerstore: reading %s: %w", path, err)
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n > maxRecordBytes {
-			return payload, fmt.Errorf("%w: record claims %d bytes in %s", ErrCorrupted, n, path)
-		}
-		if cap(payload) < int(n) {
-			grown := cap(payload) * 2
-			if grown < int(n) {
-				grown = int(n)
-			}
-			payload = make([]byte, grown)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(r, payload); err != nil {
-			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return payload, nil // truncated tail
-			}
-			return payload, fmt.Errorf("ledgerstore: reading %s: %w", path, err)
-		}
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return payload, nil // truncated tail
-			}
-			return payload, fmt.Errorf("ledgerstore: reading %s: %w", path, err)
-		}
-		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(lenBuf[:]) {
-			return payload, fmt.Errorf("%w in %s", ErrCorrupted, path)
-		}
-		page, used, err := ledger.DecodePage(payload)
-		if err != nil {
-			return payload, fmt.Errorf("ledgerstore: decoding page in %s: %w", path, err)
-		}
-		if used != len(payload) {
-			return payload, fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupted, len(payload)-used)
-		}
-		if err := fn(page); err != nil {
-			return payload, err
+	if a == nil {
+		a = new(ledger.PageArena)
+	}
+	for _, seg := range segs {
+		if err := streamSegmentArena(seg, a, fn); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // ErrStop is a sentinel fn can return from Pages/Transactions to stop
@@ -300,11 +259,20 @@ type Stats struct {
 	LastSeq      uint64
 	Segments     int
 	Bytes        int64
+	// Index reports the health of the seqindex.json sidecar: a corrupt
+	// or stale sidecar is rebuilt transparently but surfaced here.
+	Index IndexLoadReport
 }
 
-// Stats scans the store and reports its contents.
+// Stats scans the store and reports its contents. The scan is a
+// zero-copy walk (headers and per-transaction type bytes only), so it
+// validates framing and checksums but not every field of every record —
+// VerifyIntegrity does the full decode.
 func (s *Store) Stats() (Stats, error) {
 	var st Stats
+	if err := s.closeCurrent(); err != nil {
+		return st, err
+	}
 	segs, err := segmentFiles(s.dir)
 	if err != nil {
 		return st, err
@@ -317,21 +285,38 @@ func (s *Store) Stats() (Stats, error) {
 		}
 		st.Bytes += info.Size()
 	}
-	err = s.Pages(func(p *ledger.Page) error {
-		if st.Pages == 0 {
-			st.FirstSeq = p.Header.Sequence
-		}
-		st.LastSeq = p.Header.Sequence
-		st.Pages++
-		st.Transactions += len(p.Txs)
-		for _, tx := range p.Txs {
-			if tx.Type == ledger.TxPayment {
-				st.Payments++
+	_, st.Index = loadSeqIndex(s.dir)
+	for _, seg := range segs {
+		err := forEachRecord(seg, func(payload []byte) error {
+			used, err := ledger.VisitTxs(payload, func(_ *ledger.PageHeader, v *ledger.TxView) error {
+				st.Transactions++
+				if v.Type() == ledger.TxPayment {
+					st.Payments++
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("ledgerstore: scanning page in %s: %w", seg, err)
 			}
+			if used != len(payload) {
+				return fmt.Errorf("%w: %d trailing bytes in record", ErrCorrupted, len(payload)-used)
+			}
+			h, _, err := ledger.DecodeHeader(payload)
+			if err != nil {
+				return err
+			}
+			if st.Pages == 0 {
+				st.FirstSeq = h.Sequence
+			}
+			st.LastSeq = h.Sequence
+			st.Pages++
+			return nil
+		})
+		if err != nil {
+			return st, err
 		}
-		return nil
-	})
-	return st, err
+	}
+	return st, nil
 }
 
 // IntegrityReport summarizes a full store verification.

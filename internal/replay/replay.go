@@ -107,29 +107,56 @@ func rangePages(src Source, lo, hi uint64, fn func(*ledger.Page) error) error {
 	return err
 }
 
-// pageOrErr is one element of the decode-ahead stream.
+// pageOrErr is one element of the decode-ahead stream. release, when
+// non-nil, recycles the page's decode arena; the consumer must call it
+// exactly once after it is done with the page (and everything reachable
+// from it — replayed tx pointers included).
 type pageOrErr struct {
-	page *ledger.Page
-	err  error
+	page    *ledger.Page
+	release func()
+	err     error
+}
+
+// recycledRangeSource is the optional fast path of the decode-ahead
+// stream: a source that can decode each page into a pooled arena and
+// hand ownership to the consumer (ledgerstore.Store implements it).
+type recycledRangeSource interface {
+	PagesRangeRecycled(lo, hi uint64, fn func(p *ledger.Page, release func()) error) error
 }
 
 // streamPages decodes pages [lo, hi] on a producer goroutine, sending
 // them through a buffered channel so decoding overlaps whatever the
-// consumer does with each page (engine apply, planning). Closing stop
-// makes the producer quit promptly; the channel is always closed when
-// the producer finishes.
+// consumer does with each page (engine apply, planning). Sources with
+// recycled-arena decoding stream through pooled arenas — the consumer
+// releases each page once it has finished with it, so a steady-state
+// replay reuses a bounded ring of arenas instead of heap-decoding the
+// whole history. Closing stop makes the producer quit promptly; the
+// channel is always closed when the producer finishes.
 func streamPages(src Source, lo, hi uint64, stop <-chan struct{}) <-chan pageOrErr {
 	ch := make(chan pageOrErr, 64)
+	send := func(pe pageOrErr) error {
+		select {
+		case ch <- pe:
+			return nil
+		case <-stop:
+			if pe.release != nil {
+				pe.release()
+			}
+			return errStopBuild
+		}
+	}
 	go func() {
 		defer close(ch)
-		err := rangePages(src, lo, hi, func(p *ledger.Page) error {
-			select {
-			case ch <- pageOrErr{page: p}:
-				return nil
-			case <-stop:
-				return errStopBuild
-			}
-		})
+		var err error
+		if rs, ok := src.(recycledRangeSource); ok {
+			err = rs.PagesRangeRecycled(lo, hi, func(p *ledger.Page, release func()) error {
+				return send(pageOrErr{page: p, release: release})
+			})
+		} else {
+			err = rangePages(src, lo, hi, func(p *ledger.Page) error {
+				return send(pageOrErr{page: p})
+			})
+		}
 		if err != nil && !errors.Is(err, errStopBuild) {
 			select {
 			case ch <- pageOrErr{err: err}:
@@ -157,8 +184,17 @@ func BuildState(src Source, snapshotSeq uint64) (*payment.Engine, error) {
 		}
 		for _, tx := range pe.page.Txs {
 			if _, err := eng.Apply(tx); err != nil {
-				return nil, fmt.Errorf("replay: rebuilding state at page %d: %w", pe.page.Header.Sequence, err)
+				err = fmt.Errorf("replay: rebuilding state at page %d: %w", pe.page.Header.Sequence, err)
+				if pe.release != nil {
+					pe.release()
+				}
+				return nil, err
 			}
+		}
+		// The engine keeps no references into the page (it reads value
+		// fields only), so the decode arena can recycle immediately.
+		if pe.release != nil {
+			pe.release()
 		}
 	}
 	return eng, nil
@@ -266,6 +302,9 @@ func Run(src Source, snapshotSeq uint64) (*Result, error) {
 			if m := replayTx(state, tx); m != nil && m.Result.Succeeded() && it.row != nil {
 				it.row.Delivered++
 			}
+		}
+		if pe.release != nil {
+			pe.release()
 		}
 	}
 	res.StateDigest = state.StateDigest()
@@ -386,16 +425,24 @@ func RunParallel(src Source, snapshotSeq uint64, workers int) (*Result, error) {
 	stop := make(chan struct{})
 	defer close(stop)
 	batch := make([]item, 0, planBatchSize)
+	// Batch items hold tx pointers into their source pages, so a page's
+	// decode arena may only recycle after every batch referencing it has
+	// been applied. Fully-consumed pages wait here until the next flush
+	// drains the batch.
+	var pending []func()
 	flush := func() error {
-		if len(batch) == 0 {
-			return nil
+		if len(batch) > 0 {
+			planBatch(batch, finders)
+			if err := ap.applyBatch(batch); err != nil {
+				return err
+			}
+			res.Stats.Batches++
+			batch = batch[:0]
 		}
-		planBatch(batch, finders)
-		if err := ap.applyBatch(batch); err != nil {
-			return err
+		for _, release := range pending {
+			release()
 		}
-		res.Stats.Batches++
-		batch = batch[:0]
+		pending = pending[:0]
 		return nil
 	}
 	for pe := range streamPages(src, snapshotSeq+1, maxSeq, stop) {
@@ -409,10 +456,16 @@ func RunParallel(src Source, snapshotSeq uint64, workers int) (*Result, error) {
 			}
 			batch = append(batch, it)
 			if len(batch) >= planBatchSize {
+				// Mid-page flush: this page is still being iterated, so its
+				// release (queued below, after the loop) is not in pending yet
+				// and its remaining txs stay valid.
 				if err := flush(); err != nil {
 					return nil, err
 				}
 			}
+		}
+		if pe.release != nil {
+			pending = append(pending, pe.release)
 		}
 	}
 	if err := flush(); err != nil {

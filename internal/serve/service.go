@@ -207,6 +207,12 @@ func (s *Service) Backfill(ctx context.Context, src replay.Source) error {
 // the views' inboxes. Pages interleave across segments, but every view
 // statistic is order-insensitive, so the result is identical to a
 // sequential backfill.
+//
+// This path deliberately uses PagesParallel (heap-decoded pages), not
+// the arena-decoding scan: IngestPage queues each page into the view
+// workers' inboxes and returns before they consume it, so pages are
+// retained past the callback — exactly what the arena recycling
+// contract forbids.
 func (s *Service) BackfillStore(ctx context.Context, store *ledgerstore.Store, workers int) error {
 	return store.PagesParallel(ctx, workers, func(_ int, p *ledger.Page) error {
 		return s.IngestPage(p)
