@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench fuzz check
+.PHONY: all build vet test race chaos attack bench fuzz check
 
 all: check
 
@@ -17,7 +17,7 @@ test:
 # sharded de-anonymization pipeline (PagesParallel + ParallelStudy), and
 # the live serving layer (concurrent queries against ingestion).
 race:
-	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/... ./internal/replay/...
+	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/... ./internal/replay/... ./internal/integration/...
 
 # Perf trajectory: run the Figure 3 pipeline and store benchmarks with
 # allocation stats and archive them as JSON so future PRs can diff
@@ -39,6 +39,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'Table2Replay|Pathfind' -benchmem . | tee bench_replay.out
 	$(GO) run ./cmd/benchjson -out BENCH_replay.json < bench_replay.out
 	@echo "wrote BENCH_replay.json"
+	$(GO) test -run '^$$' -bench 'ConsensusRound' -benchmem ./internal/consensus | tee bench_consensus.out
+	$(GO) run ./cmd/benchjson -out BENCH_consensus.json < bench_consensus.out
+	@echo "wrote BENCH_consensus.json"
 
 # Fuzz smoke: brief randomized exploration of the zero-copy decode
 # surfaces (the in-place payment scan and the arena page decoder),
@@ -54,4 +57,10 @@ fuzz:
 chaos:
 	$(GO) test -run 'Fault|Chaos|Resilient|Stalled|Corrupt|Inject|Malformed|Health|BadFrames|Truncat|BitFlip' ./internal/...
 
-check: vet build test race chaos
+# Adversarial pass: the Byzantine scenario engine, the fork/equivocation
+# detectors, the end-to-end attack matrix over TCP, and the monitor CLI's
+# fail-on-attack path.
+attack:
+	$(GO) test -run 'Attack|Scenario|Equivoc|Censor|Delay|Fork|Stall|Detect|Backoff|Benign' ./internal/consensus/ ./internal/monitor/ ./internal/netstream/ ./internal/integration/ ./cmd/consensus-monitor/
+
+check: vet build test race chaos attack

@@ -11,6 +11,15 @@
 // sequence number, skips corrupt frames, and the collector skips
 // malformed events. The final collection-health report says whether the
 // run was lossless.
+//
+// The collector also cross-checks the stream for adversarial behavior:
+// double-signed sequences (equivocation), divergent closed chains
+// (forks), proposed-but-never-closed transactions (censorship), and
+// validation streams that outrun the closed ledger (liveness stalls).
+// Alerts print to stderr as they fire; with -fail-on-attack (the
+// default) a detected attack exits with status 2 — after the partial
+// Figure 2 report and health summary have been flushed, because a
+// poisoned window is still data.
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,27 +39,52 @@ import (
 	"ripplestudy/internal/netstream"
 )
 
+// options collects the command-line configuration so run stays testable.
+type options struct {
+	connect      string
+	label        string
+	maxEvents    int
+	asJSON       bool
+	retries      int
+	stall        time.Duration
+	censorCloses int
+	stallGap     int
+	failOnAttack bool
+}
+
 func main() {
-	connect := flag.String("connect", "127.0.0.1:5006", "validation stream address")
-	label := flag.String("label", "collection period", "period label for the report")
-	maxEvents := flag.Int("max-events", 0, "stop after this many events (0 = until stream ends)")
-	asJSON := flag.Bool("json", false, "emit the report as JSON instead of a table")
-	retries := flag.Int("retries", 8, "consecutive connection failures before giving up")
-	stall := flag.Duration("stall", 30*time.Second, "reconnect if no event arrives for this long (0 = never)")
+	var o options
+	flag.StringVar(&o.connect, "connect", "127.0.0.1:5006", "validation stream address")
+	flag.StringVar(&o.label, "label", "collection period", "period label for the report")
+	flag.IntVar(&o.maxEvents, "max-events", 0, "stop after this many events (0 = until stream ends)")
+	flag.BoolVar(&o.asJSON, "json", false, "emit the report as JSON instead of a table")
+	flag.IntVar(&o.retries, "retries", 8, "consecutive connection failures before giving up")
+	flag.DurationVar(&o.stall, "stall", 30*time.Second, "reconnect if no event arrives for this long (0 = never)")
+	flag.IntVar(&o.censorCloses, "censor-closes", 0, "ledger closes a proposed tx may miss before a censorship alert (0 = default)")
+	flag.IntVar(&o.stallGap, "stall-gap", 0, "validated sequences without a ledger close before a stall alarm (0 = default)")
+	flag.BoolVar(&o.failOnAttack, "fail-on-attack", true, "exit with status 2 when the stream shows adversarial behavior")
 	flag.Parse()
 
-	if err := run(*connect, *label, *maxEvents, *asJSON, *retries, *stall); err != nil {
+	attacked, err := run(o, os.Stdout, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "consensus-monitor:", err)
 		os.Exit(1)
 	}
+	if attacked && o.failOnAttack {
+		fmt.Fprintln(os.Stderr, "consensus-monitor: attack indicators present, exiting 2")
+		os.Exit(2)
+	}
 }
 
-func run(connect, label string, maxEvents int, asJSON bool, retries int, stall time.Duration) error {
-	client := netstream.NewResilientClient(connect, netstream.ResilientOptions{
-		MaxConsecutiveFailures: retries,
-		StallTimeout:           stall,
+// run performs the collection and writes the reports; it returns whether
+// the detector flagged the stream as adversarial. The exit code is the
+// caller's call so the reports are always flushed first.
+func run(o options, stdout, stderr io.Writer) (attacked bool, err error) {
+	client := netstream.NewResilientClient(o.connect, netstream.ResilientOptions{
+		MaxConsecutiveFailures: o.retries,
+		StallTimeout:           o.stall,
 	})
-	fmt.Fprintf(os.Stderr, "consensus-monitor: collecting from %s\n", connect)
+	fmt.Fprintf(stderr, "consensus-monitor: collecting from %s\n", o.connect)
 
 	// SIGINT/SIGTERM stop the collection but still flush everything
 	// gathered so far — a partial window is a valid (smaller) dataset.
@@ -57,40 +92,47 @@ func run(connect, label string, maxEvents int, asJSON bool, retries int, stall t
 	defer stop()
 
 	col := monitor.NewCollector()
-	err := client.Run(ctx, func(ev consensus.Event) error {
+	col.ConfigureDetector(monitor.DetectorConfig{
+		CensorshipCloses: o.censorCloses,
+		StallSequences:   o.stallGap,
+		OnAlert: func(a monitor.Alert) {
+			fmt.Fprintf(stderr, "consensus-monitor: %s\n", a)
+		},
+	})
+	err = client.Run(ctx, func(ev consensus.Event) error {
 		col.Record(ev)
-		if maxEvents > 0 && col.Events() >= maxEvents {
+		if o.maxEvents > 0 && col.Events() >= o.maxEvents {
 			return netstream.ErrStop
 		}
 		return nil
 	})
 	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "consensus-monitor: interrupted, flushing partial collection")
+		fmt.Fprintln(stderr, "consensus-monitor: interrupted, flushing partial collection")
 		err = nil
 	}
 	// A server that finishes its period and exits looks like exhausted
 	// retries; the collection up to that point is still the result. But
 	// if we never connected at all there is no collection to report.
 	if err != nil && (!errors.Is(err, netstream.ErrUnavailable) || client.Stats().Connects == 0) {
-		return err
+		return false, err
 	}
 	health := monitor.Health(client.Stats(), col)
-	fmt.Fprintf(os.Stderr, "consensus-monitor: %d events collected\n\n", col.Events())
-	rep := col.Report(label)
-	if asJSON {
+	fmt.Fprintf(stderr, "consensus-monitor: %d events collected\n\n", col.Events())
+	rep := col.Report(o.label)
+	if o.asJSON {
 		out := struct {
 			Report monitor.Report           `json:"report"`
 			Health monitor.CollectionHealth `json:"health"`
 		}{rep, health}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		return health.Attacked(), enc.Encode(out)
 	}
-	if err := rep.WriteTable(os.Stdout); err != nil {
-		return err
+	if err := rep.WriteTable(stdout); err != nil {
+		return health.Attacked(), err
 	}
-	fmt.Printf("\nsummary: %d validators observed, %d active (≥50%% of busiest), %d with zero valid pages\n",
+	fmt.Fprintf(stdout, "\nsummary: %d validators observed, %d active (≥50%% of busiest), %d with zero valid pages\n",
 		len(rep.Validators), rep.ActiveCount(0.5), rep.ZeroValidCount())
-	fmt.Println()
-	return health.WriteReport(os.Stdout)
+	fmt.Fprintln(stdout)
+	return health.Attacked(), health.WriteReport(stdout)
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/netstream"
+)
+
+// serveScenario runs a scenario to completion into a netstream server's
+// replay ring and returns the server plus the number of events emitted,
+// so run() can collect the whole stream from replay and stop at
+// max-events.
+func serveScenario(t *testing.T, sc consensus.ScenarioConfig, rounds int) (*netstream.Server, int) {
+	t.Helper()
+	srv, err := netstream.Serve("127.0.0.1:0", netstream.WithReplayRing(1<<15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	net, traffic := sc.Build()
+	net.Subscribe(srv.Publish)
+	if _, err := net.Run(rounds, traffic); err != nil {
+		t.Fatal(err)
+	}
+	return srv, int(net.EventsEmitted())
+}
+
+// TestRunFlagsAttackAndFlushesReport: collecting an equivocating stream
+// must return attacked=true while still writing the full Figure 2 table
+// and health report — the poisoned window is flushed before main turns
+// the verdict into exit status 2.
+func TestRunFlagsAttackAndFlushesReport(t *testing.T) {
+	const rounds = 20
+	srv, events := serveScenario(t, consensus.ScenarioConfig{
+		Name: "attacked", Rounds: rounds, Seed: 3,
+		Attack: consensus.AttackSpec{Equivocators: 1},
+	}, rounds)
+
+	var stdout, stderr bytes.Buffer
+	attacked, err := run(options{
+		connect:   srv.Addr(),
+		label:     "attacked window",
+		maxEvents: events,
+		retries:   3,
+		stall:     5 * time.Second,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !attacked {
+		t.Fatalf("equivocating stream not flagged as attacked\nstdout: %s", stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "ATTACK DETECTED") {
+		t.Errorf("health report missing attack verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "attacked window") || !strings.Contains(out, "summary:") {
+		t.Errorf("Figure 2 report not flushed despite the attack:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "ALERT equivocation") {
+		t.Errorf("no live equivocation alert on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestRunBenignStreamNotAttacked: a clean stream reports healthy and
+// attacked=false, so -fail-on-attack stays quiet.
+func TestRunBenignStreamNotAttacked(t *testing.T) {
+	const rounds = 20
+	srv, events := serveScenario(t, consensus.ScenarioConfig{
+		Name: "benign", Rounds: rounds, Seed: 3,
+	}, rounds)
+
+	var stdout, stderr bytes.Buffer
+	attacked, err := run(options{
+		connect:   srv.Addr(),
+		label:     "benign window",
+		maxEvents: events,
+		retries:   3,
+		stall:     5 * time.Second,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if attacked {
+		t.Fatalf("benign stream flagged as attacked\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no attack indicators") {
+		t.Errorf("health report missing benign verdict:\n%s", stdout.String())
+	}
+}

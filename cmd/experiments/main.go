@@ -24,6 +24,7 @@ import (
 	"ripplestudy/internal/amount"
 	"ripplestudy/internal/consensus"
 	"ripplestudy/internal/core"
+	"ripplestudy/internal/monitor"
 )
 
 func main() {
@@ -31,7 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	rounds := flag.Int("rounds", 2000, "consensus rounds per Figure 2 period")
 	storeDir := flag.String("store", "", "persist/reuse the history in this ledgerstore directory")
-	only := flag.String("only", "", "run a single experiment: fig2|table1|fig3|fig4|fig5|fig6|table2|fig7|mitigation|incentives|spamcost|overlap|dos|window")
+	only := flag.String("only", "", "run a single experiment: fig2|table1|fig3|fig4|fig5|fig6|table2|fig7|mitigation|incentives|spamcost|overlap|dos|window|attacks")
 	workers := flag.Int("workers", 0, "parallel scan/study workers for the de-anonymization pipeline (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -61,6 +62,11 @@ func run(payments int, seed int64, rounds int, storeDir, only string, workers in
 	}
 	if want("dos") {
 		if err := dosExperiment(); err != nil {
+			return err
+		}
+	}
+	if want("attacks") {
+		if err := attackMatrix(); err != nil {
 			return err
 		}
 	}
@@ -354,6 +360,59 @@ func dosExperiment() error {
 	fmt.Println("with 8 trusted actives and the 80% quorum, losing 2 halts the ledger:")
 	fmt.Println("\"a malicious party hijacking or compromising the majority of these")
 	fmt.Println(" validators could endanger the whole Ripple system.\"")
+	return nil
+}
+
+// attackMatrix grades the collection pipeline's detectors against the
+// Byzantine scenario engine's ground truth: for every adversary class it
+// runs a scenario, feeds the event stream to a monitor collector, and
+// compares what actually happened with what the detector flagged. The
+// last columns give the SISSLE-style message and modeled-latency cost of
+// each attack relative to the benign baseline.
+func attackMatrix() error {
+	fmt.Println("\n=== Extension: adversarial consensus — attacks vs. the collection pipeline ===")
+	const rounds = 100
+	cases := []struct {
+		name   string
+		attack consensus.AttackSpec
+	}{
+		{"benign baseline", consensus.AttackSpec{}},
+		{"1 equivocator", consensus.AttackSpec{Equivocators: 1}},
+		{"1 censor", consensus.AttackSpec{Censors: 1}},
+		{"1 delayed proposer", consensus.AttackSpec{Delayers: 1}},
+		{"3 delayed proposers", consensus.AttackSpec{Delayers: 3}},
+		{"overlap 0.2 (sub-bound)", consensus.AttackSpec{Partition: &consensus.PartitionSpec{Overlap: 0.2}}},
+		{"overlap 0.8 (safe)", consensus.AttackSpec{Partition: &consensus.PartitionSpec{Overlap: 0.8}}},
+	}
+	fmt.Printf("%-24s %28s %34s %9s %8s %9s\n",
+		"", "ground truth", "detector", "verdict", "msgs/rd", "lat/rd")
+	fmt.Printf("%-24s %7s %6s %6s %6s %7s %6s %6s %6s %6s %9s %8s %9s\n",
+		"attack", "equiv", "forks", "stalls", "censor",
+		"equiv", "forks", "stalls", "censor", "late", "", "", "")
+	for _, tc := range cases {
+		col := monitor.NewCollector()
+		sc := consensus.ScenarioConfig{
+			Name: tc.name, Rounds: rounds, Seed: 5,
+			Attack:  tc.attack,
+			OnEvent: col.Record,
+		}
+		res, err := consensus.RunScenario(sc)
+		if err != nil {
+			return err
+		}
+		s := col.Detector().Summary()
+		verdict := "benign"
+		if s.Attacked() {
+			verdict = "ATTACK"
+		}
+		fmt.Printf("%-24s %7d %6d %6d %6d %7d %6d %6d %6d %6d %9s %8.0f %7dms\n",
+			tc.name, res.Equivocations, res.ForkRounds, res.StallRounds, res.CensoredRounds,
+			s.Equivocations, s.ForkedSequences, s.StallAlarms, s.SuspectedCensoredTxs, s.LateValidations,
+			verdict, res.MeanMsgs, res.MeanLatency.Milliseconds())
+	}
+	fmt.Println("every adversary class trips a detector, but Figure 2 alone never names the")
+	fmt.Println("equivocator: its double-signed pages file it under a benign laggard class —")
+	fmt.Println("the gap between the paper's availability census and a safety monitor.")
 	return nil
 }
 

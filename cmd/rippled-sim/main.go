@@ -11,6 +11,14 @@
 // The -fault-* flags degrade the served stream (corrupted, truncated,
 // and dropped connections) to exercise the monitor's recovery path;
 // see "Failure modes and recovery" in the README.
+//
+// The -attack-* flags layer Byzantine validators onto the benign
+// population (equivocators, censors, delayed proposers) or split the
+// trusted UNL below the safe overlap bound. Attacks compose with the
+// fault injection: a degraded transport carrying an adversarial stream
+// is exactly the condition cmd/consensus-monitor's detectors are graded
+// against. With attacks on, proposal events are streamed too so the
+// monitor can see censorship.
 package main
 
 import (
@@ -44,6 +52,12 @@ func main() {
 	faultTruncate := flag.Float64("fault-truncate", 0, "probability per write of truncating the write")
 	faultLatency := flag.Duration("fault-latency", 0, "added latency per write")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for fault injection")
+	atkEquivocators := flag.Int("attack-equivocators", 0, "trusted validators that double-sign every round")
+	atkCensors := flag.Int("attack-censors", 0, "trusted validators that veto the victim account's payments")
+	atkDelayers := flag.Int("attack-delayers", 0, "trusted validators that withhold proposals past the deadlines")
+	atkDelayIters := flag.Int("attack-delay-iters", 0, "proposal iterations the delayers stay silent (0 = class default)")
+	atkOverlap := flag.Float64("attack-overlap", -1, "split the trusted UNL with this overlap fraction (<0 = off; forks commit below 2(1-quorum))")
+	atkSplitRate := flag.Float64("attack-split-rate", 1, "per-round probability a partition dispute splits the groups")
 	flag.Parse()
 
 	fcfg := faultnet.Config{
@@ -53,7 +67,16 @@ func main() {
 		TruncateRate: *faultTruncate,
 		Latency:      *faultLatency,
 	}
-	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps, *streamPages, fcfg); err != nil {
+	attack := consensus.AttackSpec{
+		Equivocators: *atkEquivocators,
+		Censors:      *atkCensors,
+		Delayers:     *atkDelayers,
+		DelayIters:   *atkDelayIters,
+	}
+	if *atkOverlap >= 0 {
+		attack.Partition = &consensus.PartitionSpec{Overlap: *atkOverlap, SplitRate: *atkSplitRate}
+	}
+	if err := run(*listen, *period, *rounds, *seed, *delay, *wait, *tps, *streamPages, fcfg, attack); err != nil {
 		fmt.Fprintln(os.Stderr, "rippled-sim:", err)
 		os.Exit(1)
 	}
@@ -72,7 +95,7 @@ func periodSpec(name string, rounds int) (consensus.PeriodSpec, error) {
 	}
 }
 
-func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64, streamPages bool, fcfg faultnet.Config) error {
+func run(listen, period string, rounds int, seed int64, delay, wait time.Duration, tps float64, streamPages bool, fcfg faultnet.Config, attack consensus.AttackSpec) error {
 	spec, err := periodSpec(period, rounds)
 	if err != nil {
 		return err
@@ -106,7 +129,24 @@ func run(listen, period string, rounds int, seed int64, delay, wait time.Duratio
 	fmt.Printf("rippled-sim: %d subscriber(s) connected, starting consensus\n", srv.NumSubscribers())
 
 	cfg := consensus.Config{Seed: seed, StartTime: spec.Start, StreamPages: streamPages}
-	net := consensus.NewNetwork(cfg, spec.Specs)
+	specs := spec.Specs
+	if attack.Enabled() {
+		if attack.Censors > 0 && len(attack.CensorTargets) == 0 {
+			attack.CensorTargets = []addr.AccountID{consensus.VictimAccount()}
+		}
+		cfg.Partition = attack.Partition
+		cfg.StreamProposals = true // monitors need proposals to see censorship
+		specs = attack.Apply(specs)
+		fmt.Printf("rippled-sim: attack on (equivocators=%d censors=%d delayers=%d",
+			attack.Equivocators, attack.Censors, attack.Delayers)
+		if attack.Partition != nil {
+			fmt.Printf(" overlap=%.2f split-rate=%.2f feasible-fork=%v",
+				attack.Partition.Overlap, attack.Partition.SplitRate,
+				consensus.ForkFeasible(attack.Partition.Overlap, consensus.DefaultConfig().ValidationQuorum))
+		}
+		fmt.Println(")")
+	}
+	net := consensus.NewNetwork(cfg, specs)
 	net.Subscribe(srv.Publish)
 
 	// Synthetic traffic: simple XRP payments from a funded account, so
@@ -121,17 +161,25 @@ func run(listen, period string, rounds int, seed int64, delay, wait time.Duratio
 			n++
 		}
 		txs := make([]*ledger.Tx, 0, n)
-		for i := 0; i < n; i++ {
+		mk := func(dst addr.AccountID) {
 			tx := &ledger.Tx{
 				Type:        ledger.TxPayment,
 				Account:     trafficKey.AccountID(),
-				Sequence:    net.Engine().NextSequence(trafficKey.AccountID()) + uint32(i),
+				Sequence:    net.Engine().NextSequence(trafficKey.AccountID()) + uint32(len(txs)),
 				Fee:         10,
-				Destination: addr.KeyPairFromSeed(uint64(10000 + rng.Intn(500))).AccountID(),
+				Destination: dst,
 				Amount:      amount.XRPAmount(amount.Drops(1_000_000 + rng.Int63n(50_000_000))),
 			}
 			tx.Sign(trafficKey)
 			txs = append(txs, tx)
+		}
+		for i := 0; i < n; i++ {
+			mk(addr.KeyPairFromSeed(uint64(10000 + rng.Intn(500))).AccountID())
+		}
+		// With censors configured, every round carries one payment to the
+		// victim account — the transaction the adversary keeps out.
+		if attack.Censors > 0 {
+			mk(consensus.VictimAccount())
 		}
 		return txs
 	}
@@ -150,6 +198,10 @@ func run(listen, period string, rounds int, seed int64, delay, wait time.Duratio
 	}
 	srv.Flush()
 	fmt.Printf("rippled-sim: done, %d main-chain pages closed\n", net.Chain().Len())
+	if attack.Enabled() {
+		fmt.Printf("rippled-sim: attack ground truth: equivocations=%d forked-sequences=%d\n",
+			net.Equivocations(), len(net.ForkSeqs()))
+	}
 	// Leave the stream open briefly so slow consumers drain (and, when
 	// injecting faults, reconnect and replay the tail).
 	drain := 500 * time.Millisecond

@@ -37,6 +37,38 @@ type Config struct {
 	// materialize transaction-level views without a separate ledger
 	// fetch path.
 	StreamPages bool
+	// StreamProposals publishes one EventProposal per round carrying the
+	// candidate transaction-set hashes, and attaches the agreed tx
+	// hashes to each ledger-close event — enough signal for a monitor to
+	// detect censorship (a tx proposed round after round that never
+	// closes). Off by default so the benign stream stays byte-identical
+	// to the pre-attack pipeline.
+	StreamProposals bool
+	// Partition, when non-nil, models the sub-bound UNL-overlap attack:
+	// the trusted quorum members split into two groups sharing Overlap
+	// of their UNLs, and in split rounds each group validates its own
+	// page. Below the 2(1−q) overlap bound both sides can reach quorum —
+	// a committed fork the collection pipeline must notice.
+	Partition *PartitionSpec
+	// PropagationDelay is the modeled one-hop message latency used for
+	// the per-round latency metric (default 150ms). It does not slow the
+	// simulation down; it prices each proposal iteration and the
+	// validation broadcast, the SISSLE round-latency axis.
+	PropagationDelay time.Duration
+	// AttackSeed drives all adversarial randomness (partition coin
+	// flips) separately from Seed, so enabling an attack never perturbs
+	// the benign population's random draws. Zero derives it from Seed.
+	AttackSeed int64
+}
+
+// PartitionSpec configures the sub-bound overlap split.
+type PartitionSpec struct {
+	// Overlap is the fraction of each group's UNL shared with the other
+	// (forks are feasible iff Overlap <= 2(1-quorum); see ForkFeasible).
+	Overlap float64
+	// SplitRate is the per-round probability that a dispute splits the
+	// groups onto different pages (default 1: every round splits).
+	SplitRate float64
 }
 
 // DefaultConfig returns the production-like parameters.
@@ -59,6 +91,10 @@ const (
 	EventValidation EventKind = iota + 1
 	// EventLedgerClosed announces a fully validated main-chain page.
 	EventLedgerClosed
+	// EventProposal announces the candidate transaction set entering a
+	// consensus round (emitted only with Config.StreamProposals). A
+	// monitor correlates proposals against closes to spot censorship.
+	EventProposal
 )
 
 // Event is one entry of the validation stream — the data source the
@@ -89,6 +125,11 @@ type Event struct {
 	// consumer (internal/serve) materializes views from. Empty for
 	// validation events and metadata-only streams.
 	PageData []byte `json:"page_data,omitempty"`
+	// TxHashes carries, with Config.StreamProposals, the candidate
+	// transaction hashes of an EventProposal or the agreed hashes of an
+	// EventLedgerClosed — the censorship-detection signal. Empty
+	// otherwise, keeping the default wire encoding unchanged.
+	TxHashes []ledger.Hash `json:"tx_hashes,omitempty"`
 }
 
 // Page decodes the sealed page attached to a ledger-close event.
@@ -114,6 +155,29 @@ type RoundResult struct {
 	Validations   int // signatures matching the canonical page
 	ProposalIters int
 	Deferred      []*ledger.Tx // transactions that failed to converge
+
+	// Messages counts the protocol messages the round cost: each
+	// proposal iteration is a full proposer-to-proposer broadcast, and
+	// each validation or close is broadcast to every present node — the
+	// SISSLE message-complexity axis.
+	Messages int
+	// ProposalMsgs and ValidationMsgs break Messages down by phase.
+	ProposalMsgs   int
+	ValidationMsgs int
+	// Latency is the modeled wall-clock cost of the round: one
+	// PropagationDelay per proposal iteration plus one for the
+	// validation broadcast. Delayed proposers stretch it by forcing
+	// extra iterations before convergence.
+	Latency time.Duration
+
+	// CensoredTxs counts candidate transactions a censor validator
+	// vetoed out of the agreed set this round.
+	CensoredTxs int
+	// ForkCommitted marks a partitioned round in which both groups
+	// reached their internal quorum on different pages; ForkHash is the
+	// rival page's hash (the canonical page stays in Page).
+	ForkCommitted bool
+	ForkHash      ledger.Hash
 }
 
 // Network simulates the validator network plus the canonical ledger
@@ -134,6 +198,17 @@ type Network struct {
 
 	streamSeq   uint64
 	subscribers []func(Event)
+
+	// Adversarial state. atkRng drives all Byzantine randomness so the
+	// benign population's draws from rng are identical with and without
+	// an attack configured; lateQueue holds delayer validations to
+	// broadcast next round; hasByzantine short-circuits every attack
+	// path when no Byzantine validator is configured.
+	atkRng        *rand.Rand
+	lateQueue     []Event
+	hasByzantine  bool
+	equivocations int
+	forkSeqs      []uint64
 }
 
 // NewNetwork creates a network with the given validators over a fresh
@@ -151,19 +226,43 @@ func NewNetwork(cfg Config, specs []ValidatorSpec) *Network {
 	if cfg.StartTime.IsZero() {
 		cfg.StartTime = DefaultConfig().StartTime
 	}
+	if cfg.PropagationDelay == 0 {
+		cfg.PropagationDelay = 150 * time.Millisecond
+	}
+	if cfg.AttackSeed == 0 {
+		cfg.AttackSeed = cfg.Seed*6364136223846793005 + 1442695040888963407
+	}
+	if cfg.Partition != nil && cfg.Partition.SplitRate == 0 {
+		p := *cfg.Partition
+		p.SplitRate = 1
+		cfg.Partition = &p
+	}
 	n := &Network{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		atkRng:    rand.New(rand.NewSource(cfg.AttackSeed)),
 		engine:    payment.NewEngine(),
 		chain:     ledger.NewChain(ledger.Genesis("main", ledger.CloseTimeFromTime(cfg.StartTime))),
 		testChain: ledger.NewChain(ledger.Genesis("testnet", ledger.CloseTimeFromTime(cfg.StartTime))),
 		now:       cfg.StartTime,
 	}
 	for _, spec := range specs {
-		n.validators = append(n.validators, newValidator(spec))
+		v := newValidator(spec)
+		n.validators = append(n.validators, v)
+		if spec.Behavior.Byzantine() {
+			n.hasByzantine = true
+		}
 	}
 	return n
 }
+
+// Equivocations returns how many conflicting validation signatures the
+// network's equivocators have broadcast so far.
+func (n *Network) Equivocations() int { return n.equivocations }
+
+// ForkSeqs returns the ledger sequences at which a partitioned round
+// committed a fork (both groups reached quorum on different pages).
+func (n *Network) ForkSeqs() []uint64 { return n.forkSeqs }
 
 // Engine exposes the canonical state machine (e.g. to fund accounts
 // before a simulation).
@@ -254,9 +353,35 @@ func (n *Network) NodeIDOf(label string) (addr.NodeID, bool) {
 // transactions: proposal convergence, canonical application, validation
 // broadcast, and the parallel test-net close. Deferred transactions (ones
 // that failed to reach agreement) are reported for resubmission.
+//
+// With Byzantine validators configured, the round additionally carries
+// their attacks: censors veto targeted transactions, delayers withhold
+// proposals and broadcast their validations a round late, equivocators
+// double-sign, and a Partition config can split the trusted UNL onto two
+// pages. All adversarial randomness comes from a separate RNG, so a
+// network without Byzantine validators or a partition produces a
+// bit-identical event stream to the pre-attack implementation.
 func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 	n.round++
 	n.now = n.now.Add(n.cfg.CloseInterval)
+
+	// Validations a delayer withheld last round arrive this round,
+	// after the live traffic (attack path; always empty in benign runs).
+	late := n.lateQueue
+	n.lateQueue = nil
+
+	if n.cfg.StreamProposals && len(candidates) > 0 {
+		hashes := make([]ledger.Hash, len(candidates))
+		for i, tx := range candidates {
+			hashes[i] = tx.Hash()
+		}
+		n.emit(Event{
+			Kind:     EventProposal,
+			Seq:      n.chain.Tip().Header.Sequence + 1,
+			TxHashes: hashes,
+			Time:     n.now,
+		})
+	}
 
 	// Gather the active validators present this round.
 	var actives []*validator
@@ -265,9 +390,22 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 			actives = append(actives, v)
 		}
 	}
+	// Byzantine proposers (equivocators, censors, delayers) join the
+	// proposal phase after the benign actives, so the benign RNG draw
+	// order is untouched.
+	proposers := actives
+	if n.hasByzantine {
+		proposers = append(make([]*validator, 0, len(actives)+4), actives...)
+		for _, v := range n.validators {
+			if v.spec.Behavior.Byzantine() && !v.disabled && v.present(n.round) && n.atkRng.Float64() < v.spec.Availability {
+				proposers = append(proposers, v)
+			}
+		}
+	}
 
-	agreed, iters := n.proposalPhase(actives, candidates)
+	agreed, iters := n.proposalPhase(proposers, candidates)
 	var deferred []*ledger.Tx
+	censored := 0
 	agreedSet := make(map[ledger.Hash]bool, len(agreed))
 	for _, tx := range agreed {
 		agreedSet[tx.Hash()] = true
@@ -275,6 +413,12 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 	for _, tx := range candidates {
 		if !agreedSet[tx.Hash()] {
 			deferred = append(deferred, tx)
+			for _, v := range proposers {
+				if v.censors(tx) {
+					censored++
+					break
+				}
+			}
 		}
 	}
 
@@ -290,25 +434,99 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 		return nil, err
 	}
 
+	// Sub-bound overlap attack: split the trusted quorum members into
+	// two groups; group B validates a divergent page this round.
+	canonical := page.Header.Hash()
+	var (
+		split      bool
+		forkHash   ledger.Hash
+		groupOf    map[*validator]int // 1 = canonical side, 2 = fork side
+		groupSize  int
+		sigA, sigB int
+	)
+	if p := n.cfg.Partition; p != nil && n.atkRng.Float64() < p.SplitRate {
+		groupOf, groupSize = n.partitionGroups(p.Overlap)
+		if groupSize > 0 {
+			split = true
+			forkHash = ledger.SHA512Half(fmt.Appendf(nil, "partition:%d:%d", page.Header.Sequence, n.cfg.AttackSeed))
+		}
+	}
+
 	// Validation broadcast. The quorum denominator is the trusted list
 	// itself (UNLs are configuration, not liveness): a validator that is
 	// merely offline — or hijacked — still counts against the 80%
 	// requirement. Validators outside their join/leave window have been
-	// retired from operators' lists and do not count.
-	canonical := page.Header.Hash()
+	// retired from operators' lists and do not count. Trusted Byzantine
+	// validators count against the denominator too: an insider that
+	// withholds its signature is indistinguishable from a downed one.
 	matching := 0
 	trustedTotal := 0
+	emitted := 0
+	present := 0
 	for _, v := range n.validators {
 		if !v.present(n.round) {
 			continue
 		}
-		if v.spec.Trusted && v.spec.Behavior == BehaviorActive {
+		present++
+		if v.spec.Trusted && (v.spec.Behavior == BehaviorActive || v.spec.Behavior.Byzantine()) {
 			trustedTotal++
 		}
-		if v.disabled || n.rng.Float64() >= v.spec.Availability {
+		rng := n.rng
+		if v.spec.Behavior.Byzantine() {
+			rng = n.atkRng
+		}
+		if v.disabled || rng.Float64() >= v.spec.Availability {
+			continue
+		}
+		emitVal := func(h ledger.Hash) {
+			emitted++
+			n.emit(Event{
+				Kind:       EventValidation,
+				Seq:        page.Header.Sequence,
+				LedgerHash: h,
+				Node:       v.id,
+				Signature:  v.key.Sign(h[:]),
+				Time:       n.now,
+			})
+		}
+		switch v.spec.Behavior {
+		case BehaviorDelayer:
+			// Signs the canonical page, but broadcasts it past the close
+			// deadline: the signature goes out during the next round and
+			// never counts toward this round's quorum.
+			n.lateQueue = append(n.lateQueue, Event{
+				Kind:       EventValidation,
+				Seq:        page.Header.Sequence,
+				LedgerHash: canonical,
+				Node:       v.id,
+				Signature:  v.key.Sign(canonical[:]),
+			})
+			continue
+		case BehaviorEquivocator:
+			// Double-sign: the canonical page toward one UNL partition
+			// and a conflicting hash toward the other. In a split round
+			// the conflicting signature is the rival page itself, pushing
+			// both sides toward quorum.
+			other := ledger.SHA512Half(fmt.Appendf(nil, "equiv:%s:%d", v.DisplayName(), page.Header.Sequence))
+			if split {
+				other = forkHash
+			}
+			emitVal(canonical)
+			emitVal(other)
+			n.equivocations++
+			if v.spec.Trusted {
+				matching++
+			}
+			if split && groupOf[v] != 0 {
+				sigA++
+				sigB++
+			}
 			continue
 		}
 		signed := n.validationHashFor(v, page, testPage)
+		if split && groupOf[v] == 2 && signed == canonical {
+			signed = forkHash
+		}
 		if signed.IsZero() {
 			continue
 		}
@@ -318,19 +536,47 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 		if signed == canonical && v.spec.Trusted {
 			matching++
 		}
-		n.emit(Event{
-			Kind:       EventValidation,
-			Seq:        page.Header.Sequence,
-			LedgerHash: signed,
-			Node:       v.id,
-			Signature:  v.key.Sign(signed[:]),
-			Time:       n.now,
-		})
+		if split {
+			switch groupOf[v] {
+			case 1:
+				if signed == canonical {
+					sigA++
+				}
+			case 2:
+				if signed == forkHash {
+					sigB++
+				}
+			}
+		}
+		emitVal(signed)
 	}
 
 	quorum := int(float64(trustedTotal)*n.cfg.ValidationQuorum + 0.999999)
 	validated := trustedTotal > 0 && matching >= quorum
+	forkCommitted := false
+	closes := 0
+	if split {
+		// Each group tallies against its own UNL of groupSize members.
+		gq := int(float64(groupSize)*n.cfg.ValidationQuorum + 0.999999)
+		validated = sigA >= gq
+		forkCommitted = validated && sigB >= gq
+		if sigB >= gq {
+			// The rival partition validated its page: a second fully
+			// validated ledger at the same sequence enters the stream.
+			closes++
+			n.emit(Event{
+				Kind:       EventLedgerClosed,
+				Seq:        page.Header.Sequence,
+				LedgerHash: forkHash,
+				Time:       n.now,
+			})
+			if forkCommitted {
+				n.forkSeqs = append(n.forkSeqs, page.Header.Sequence)
+			}
+		}
+	}
 	if validated {
+		closes++
 		ev := Event{
 			Kind:       EventLedgerClosed,
 			Seq:        page.Header.Sequence,
@@ -341,37 +587,114 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 		if n.cfg.StreamPages {
 			ev.PageData = page.Encode(nil)
 		}
+		if n.cfg.StreamProposals && len(agreed) > 0 {
+			hashes := make([]ledger.Hash, len(agreed))
+			for i, tx := range agreed {
+				hashes[i] = tx.Hash()
+			}
+			ev.TxHashes = hashes
+		}
 		n.emit(ev)
 	}
 
+	// Last round's withheld validations finally go out — trailing the
+	// sequence high-water mark, which is how a monitor spots them.
+	for _, ev := range late {
+		ev.Time = n.now
+		emitted++
+		n.emit(ev)
+	}
+
+	propMsgs := iters * len(proposers) * max(len(proposers)-1, 0)
+	valMsgs := (emitted + closes) * max(present-1, 0)
 	return &RoundResult{
-		Page:          page,
-		Validated:     validated,
-		Validations:   matching,
-		ProposalIters: iters,
-		Deferred:      deferred,
+		Page:           page,
+		Validated:      validated,
+		Validations:    matching,
+		ProposalIters:  iters,
+		Deferred:       deferred,
+		Messages:       propMsgs + valMsgs,
+		ProposalMsgs:   propMsgs,
+		ValidationMsgs: valMsgs,
+		Latency:        time.Duration(iters+1) * n.cfg.PropagationDelay,
+		CensoredTxs:    censored,
+		ForkCommitted:  forkCommitted,
+		ForkHash:       forkHash,
 	}, nil
+}
+
+// partitionGroups splits the present trusted quorum members into two
+// UNL groups sharing `overlap` of their members: with N members and
+// group size g, each group holds e = g−s exclusive members and s shared
+// ones (N = 2e+s, overlap = s/g). Shared members follow whichever
+// proposal reached them first — a fair coin in a symmetric split.
+// Returns the side of each member (1 = canonical, 2 = fork) and g.
+func (n *Network) partitionGroups(overlap float64) (map[*validator]int, int) {
+	var members []*validator
+	for _, v := range n.validators {
+		if !v.present(n.round) || v.disabled {
+			continue
+		}
+		if v.spec.Trusted && (v.spec.Behavior == BehaviorActive || v.spec.Behavior.Byzantine()) {
+			members = append(members, v)
+		}
+	}
+	total := len(members)
+	if total < 2 {
+		return nil, 0
+	}
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 1 {
+		overlap = 1
+	}
+	exclusive := int((1-overlap)/(2-overlap)*float64(total) + 0.5)
+	if 2*exclusive > total {
+		exclusive = total / 2
+	}
+	groupOf := make(map[*validator]int, total)
+	for i, v := range members {
+		switch {
+		case i < exclusive:
+			groupOf[v] = 1
+		case i >= total-exclusive:
+			groupOf[v] = 2
+		default:
+			// Shared member: coin-flip which page reached it first.
+			groupOf[v] = 1 + n.atkRng.Intn(2)
+		}
+	}
+	shared := total - 2*exclusive
+	return groupOf, exclusive + shared
 }
 
 // proposalPhase runs the avalanche-style dispute resolution: each active
 // validator starts from its (lossy) view of the candidate set and
 // iteratively keeps a transaction only when the fraction of peers
-// proposing it meets the rising threshold. Returns the agreed set and
-// the number of iterations used.
+// proposing it meets the rising threshold. Byzantine proposers bend the
+// rules: censors force targeted transactions out of their proposals at
+// every iteration, and delayers withhold all votes until their
+// DelayIters deadline passes. Returns the agreed set and the number of
+// iterations used.
 func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) ([]*ledger.Tx, int) {
 	if len(actives) == 0 || len(candidates) == 0 {
 		return nil, 0
 	}
 	// proposals[i][j] — does validator i currently propose candidate j.
 	proposals := make([][]bool, len(actives))
-	for i := range actives {
+	for i, v := range actives {
 		proposals[i] = make([]bool, len(candidates))
 		for j := range candidates {
-			proposals[i][j] = n.rng.Float64() >= n.cfg.TxDropRate
+			keep := n.rng.Float64() >= n.cfg.TxDropRate
+			if v.spec.Behavior.Byzantine() && (v.withholds(0) || v.censors(candidates[j])) {
+				keep = false
+			}
+			proposals[i][j] = keep
 		}
 	}
 	iters := 0
-	for _, threshold := range n.cfg.Thresholds {
+	for ti, threshold := range n.cfg.Thresholds {
 		iters++
 		next := make([][]bool, len(actives))
 		converged := true
@@ -385,6 +708,10 @@ func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) (
 					}
 				}
 				keep := float64(votes) >= threshold*float64(len(actives))
+				if actives[i].spec.Behavior.Byzantine() &&
+					(actives[i].withholds(ti+1) || actives[i].censors(candidates[j])) {
+					keep = false
+				}
 				next[i][j] = keep
 				if keep != proposals[i][j] {
 					converged = false
@@ -481,6 +808,11 @@ func (n *Network) validationHashFor(v *validator, mainPage, testPage *ledger.Pag
 		return ledger.SHA512Half([]byte(fmt.Sprintf("fork:%s:%d", v.DisplayName(), mainPage.Header.Sequence)))
 	case BehaviorTestnet:
 		return testPage.Header.Hash()
+	case BehaviorCensor:
+		// The censor signs the page it helped converge: with the targets
+		// stripped during proposals, its validations look perfectly
+		// healthy — the attack is invisible in the validation stream.
+		return mainPage.Header.Hash()
 	default:
 		return ledger.Hash{}
 	}

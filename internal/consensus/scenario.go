@@ -1,0 +1,298 @@
+package consensus
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+)
+
+// Adversarial scenario engine. "Security Analysis of Ripple Consensus"
+// (Amores-Sesar, Cachin, Mićić) proves the protocol loses safety when
+// UNL overlap drops below the 2(1−q) bound and loses liveness under
+// delayed or censoring proposers. An AttackSpec injects exactly those
+// adversaries into a benign validator population, and RunScenario
+// reports the per-round safety/liveness outcomes — did a fork commit,
+// did the round stall, how long did a targeted transaction stay
+// censored — so the collection pipeline's detectors can be graded
+// against ground truth.
+
+// AttackSpec selects the Byzantine validators layered onto a benign
+// population and, optionally, a sub-bound UNL partition.
+type AttackSpec struct {
+	// Equivocators, Censors, and Delayers count the Byzantine
+	// validators of each class added to the trusted list.
+	Equivocators int
+	Censors      int
+	Delayers     int
+	// DelayIters overrides the delayers' withheld proposal iterations
+	// (0 = the class default: silent past the 50→65→70% deadlines).
+	DelayIters int
+	// CensorTargets lists the accounts the censors strip from their
+	// proposals. Scenario runs default it to the scenario's victim
+	// account when censors are configured.
+	CensorTargets []addr.AccountID
+	// Partition, when non-nil, splits the trusted UNL (see
+	// Config.Partition); overlap below 2(1−q) admits committed forks.
+	Partition *PartitionSpec
+}
+
+// Enabled reports whether any attack is configured.
+func (a AttackSpec) Enabled() bool {
+	return a.Equivocators > 0 || a.Censors > 0 || a.Delayers > 0 || a.Partition != nil
+}
+
+// Apply returns base plus the configured Byzantine validators. The
+// attackers are trusted (the insider threat model): they count against
+// the 80% quorum denominator whether or not they sign.
+func (a AttackSpec) Apply(base []ValidatorSpec) []ValidatorSpec {
+	out := append(make([]ValidatorSpec, 0, len(base)+a.Equivocators+a.Censors+a.Delayers), base...)
+	add := func(class string, n int, mutate func(*ValidatorSpec)) {
+		for i := 1; i <= n; i++ {
+			label := fmt.Sprintf("%s-%d", class, i)
+			spec := ValidatorSpec{
+				Label:   label,
+				Seed:    seedFor(label, uint64(i)),
+				Trusted: true,
+			}
+			mutate(&spec)
+			out = append(out, spec)
+		}
+	}
+	add("equivocator", a.Equivocators, func(s *ValidatorSpec) { s.Behavior = BehaviorEquivocator })
+	add("censor", a.Censors, func(s *ValidatorSpec) {
+		s.Behavior = BehaviorCensor
+		s.CensorAccounts = a.CensorTargets
+	})
+	add("delayer", a.Delayers, func(s *ValidatorSpec) {
+		s.Behavior = BehaviorDelayer
+		s.DelayIters = a.DelayIters
+	})
+	return out
+}
+
+// ScenarioConfig describes one adversarial run: a benign population, the
+// attack layered on top, and the synthetic traffic pushed through
+// consensus (including the victim payments censors target).
+type ScenarioConfig struct {
+	Name   string
+	Rounds int
+	Seed   int64
+	// Base is the benign population (default: the December 2015
+	// validator classes).
+	Base   []ValidatorSpec
+	Attack AttackSpec
+	// Config overrides consensus parameters; StreamProposals is forced
+	// on whenever an attack is enabled so monitors can see censorship.
+	Config Config
+	// TrafficPerRound is the number of background payments per round
+	// (default 3). VictimEvery injects one payment to the victim account
+	// every that-many rounds (default 1) when censors are configured.
+	TrafficPerRound int
+	VictimEvery     int
+	// OnEvent, when set, is subscribed to the network's event stream —
+	// the hook RunScenario callers use to feed a monitor.Collector the
+	// same events a netstream subscriber would see.
+	OnEvent func(Event)
+}
+
+// scenarioTrafficSeed/scenarioVictimSeed derive the funded traffic
+// account and the censorship victim deterministically.
+const (
+	scenarioTrafficSeed = 424242
+	scenarioVictimSeed  = 616161
+)
+
+// VictimAccount returns the account censors target in scenario runs.
+func VictimAccount() addr.AccountID {
+	return addr.KeyPairFromSeed(scenarioVictimSeed).AccountID()
+}
+
+// TrafficAccount returns the pre-funded account scenario traffic spends
+// from; ScenarioFunding is its genesis balance in drops.
+func TrafficAccount() addr.AccountID {
+	return addr.KeyPairFromSeed(scenarioTrafficSeed).AccountID()
+}
+
+// ScenarioFunding is the scenario traffic account's funded balance.
+const ScenarioFunding = 1_000_000_000_000
+
+func (sc ScenarioConfig) withDefaults() ScenarioConfig {
+	if sc.Rounds == 0 {
+		sc.Rounds = 100
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Base == nil {
+		sc.Base = December2015(sc.Rounds).Specs
+	}
+	if sc.TrafficPerRound == 0 {
+		sc.TrafficPerRound = 3
+	}
+	if sc.VictimEvery == 0 {
+		sc.VictimEvery = 1
+	}
+	if sc.Attack.Censors > 0 && len(sc.Attack.CensorTargets) == 0 {
+		sc.Attack.CensorTargets = []addr.AccountID{VictimAccount()}
+	}
+	return sc
+}
+
+// Build constructs the attacked network and its traffic generator. The
+// traffic account is pre-funded; each round carries TrafficPerRound
+// background payments plus, when censors are configured, a payment to
+// the victim account every VictimEvery rounds.
+func (sc ScenarioConfig) Build() (*Network, func(round int) []*ledger.Tx) {
+	sc = sc.withDefaults()
+	cfg := sc.Config
+	if cfg.Seed == 0 {
+		cfg.Seed = sc.Seed
+	}
+	if sc.Attack.Partition != nil {
+		cfg.Partition = sc.Attack.Partition
+	}
+	if sc.Attack.Enabled() {
+		cfg.StreamProposals = true
+	}
+	net := NewNetwork(cfg, sc.Attack.Apply(sc.Base))
+	if sc.OnEvent != nil {
+		net.Subscribe(sc.OnEvent)
+	}
+
+	trafficKey := addr.KeyPairFromSeed(scenarioTrafficSeed)
+	net.Engine().Fund(trafficKey.AccountID(), ScenarioFunding)
+	rng := rand.New(rand.NewSource(sc.Seed + 7))
+	victim := VictimAccount()
+	traffic := func(round int) []*ledger.Tx {
+		txs := make([]*ledger.Tx, 0, sc.TrafficPerRound+1)
+		next := net.Engine().NextSequence(trafficKey.AccountID())
+		mk := func(dst addr.AccountID) {
+			tx := &ledger.Tx{
+				Type:        ledger.TxPayment,
+				Account:     trafficKey.AccountID(),
+				Sequence:    next + uint32(len(txs)),
+				Fee:         10,
+				Destination: dst,
+				Amount:      amount.XRPAmount(amount.Drops(1_000_000 + rng.Int63n(50_000_000))),
+			}
+			tx.Sign(trafficKey)
+			txs = append(txs, tx)
+		}
+		for i := 0; i < sc.TrafficPerRound; i++ {
+			mk(addr.KeyPairFromSeed(uint64(20000 + rng.Intn(500))).AccountID())
+		}
+		if sc.Attack.Censors > 0 && round%sc.VictimEvery == 0 {
+			mk(victim)
+		}
+		return txs
+	}
+	return net, traffic
+}
+
+// RoundOutcome is the per-round safety/liveness ground truth.
+type RoundOutcome struct {
+	Round         int
+	Validated     bool
+	ForkCommitted bool
+	AgreedTxs     int
+	CensoredTxs   int
+	ProposalIters int
+	Messages      int
+	Latency       time.Duration
+}
+
+// ScenarioResult aggregates a scenario run.
+type ScenarioResult struct {
+	Name   string
+	Rounds int
+	// Safety: rounds in which two pages at one sequence both reached
+	// quorum, and the first round it happened (0 = never).
+	ForkRounds     int
+	FirstForkRound int
+	// Liveness: rounds without a validated canonical close, and the
+	// longest consecutive run of them.
+	StallRounds    int
+	MaxStallStreak int
+	// Censorship: rounds in which a censor vetoed at least one candidate
+	// out of the agreed set, and the longest consecutive run — "the
+	// victim's payment stayed out of the ledger for N rounds".
+	CensoredRounds  int
+	MaxCensorStreak int
+	// Equivocations is the number of conflicting signature pairs
+	// broadcast (from Network.Equivocations).
+	Equivocations int
+	// SISSLE axes: total protocol messages, mean messages and modeled
+	// latency per round, and mean proposal iterations.
+	Messages    int
+	MeanMsgs    float64
+	MeanLatency time.Duration
+	MeanIters   float64
+
+	Outcomes []RoundOutcome
+}
+
+// RunScenario executes the scenario in-process and returns the
+// aggregated ground truth. Integration tests that need the event stream
+// on the wire use Build directly and publish to a netstream server.
+func RunScenario(sc ScenarioConfig) (*ScenarioResult, error) {
+	sc = sc.withDefaults()
+	net, traffic := sc.Build()
+	res := &ScenarioResult{Name: sc.Name, Rounds: sc.Rounds}
+	stallStreak, censorStreak := 0, 0
+	var latencySum time.Duration
+	var iterSum int
+	carry := []*ledger.Tx(nil)
+	for round := 1; round <= sc.Rounds; round++ {
+		candidates := append(carry, traffic(round)...)
+		rr, err := net.RunRound(candidates)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: scenario %q round %d: %w", sc.Name, round, err)
+		}
+		carry = rr.Deferred
+		out := RoundOutcome{
+			Round:         round,
+			Validated:     rr.Validated,
+			ForkCommitted: rr.ForkCommitted,
+			AgreedTxs:     len(rr.Page.Txs),
+			CensoredTxs:   rr.CensoredTxs,
+			ProposalIters: rr.ProposalIters,
+			Messages:      rr.Messages,
+			Latency:       rr.Latency,
+		}
+		res.Outcomes = append(res.Outcomes, out)
+		res.Messages += rr.Messages
+		latencySum += rr.Latency
+		iterSum += rr.ProposalIters
+		if rr.ForkCommitted {
+			res.ForkRounds++
+			if res.FirstForkRound == 0 {
+				res.FirstForkRound = round
+			}
+		}
+		if !rr.Validated {
+			res.StallRounds++
+			stallStreak++
+			res.MaxStallStreak = max(res.MaxStallStreak, stallStreak)
+		} else {
+			stallStreak = 0
+		}
+		if rr.CensoredTxs > 0 {
+			res.CensoredRounds++
+			censorStreak++
+			res.MaxCensorStreak = max(res.MaxCensorStreak, censorStreak)
+		} else {
+			censorStreak = 0
+		}
+	}
+	res.Equivocations = net.Equivocations()
+	if sc.Rounds > 0 {
+		res.MeanMsgs = float64(res.Messages) / float64(sc.Rounds)
+		res.MeanLatency = latencySum / time.Duration(sc.Rounds)
+		res.MeanIters = float64(iterSum) / float64(sc.Rounds)
+	}
+	return res, nil
+}

@@ -1,0 +1,343 @@
+package consensus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAttackSpecApply(t *testing.T) {
+	base := activeSpecs(5)
+	atk := AttackSpec{Equivocators: 2, Censors: 1, Delayers: 3, DelayIters: 2}
+	specs := atk.Apply(base)
+	if len(specs) != 11 {
+		t.Fatalf("Apply produced %d specs, want 11", len(specs))
+	}
+	if !reflect.DeepEqual(specs[:5], base) {
+		t.Error("Apply mutated the benign prefix")
+	}
+	counts := map[Behavior]int{}
+	for _, s := range specs[5:] {
+		counts[s.Behavior]++
+		if !s.Trusted {
+			t.Errorf("%s not trusted: the insider threat model requires UNL membership", s.Label)
+		}
+		if s.Label == "" {
+			t.Error("Byzantine spec missing label")
+		}
+		if s.Behavior == BehaviorDelayer && s.DelayIters != 2 {
+			t.Errorf("%s DelayIters = %d, want 2", s.Label, s.DelayIters)
+		}
+	}
+	want := map[Behavior]int{BehaviorEquivocator: 2, BehaviorCensor: 1, BehaviorDelayer: 3}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("behavior counts = %v, want %v", counts, want)
+	}
+	if (AttackSpec{}).Enabled() {
+		t.Error("zero AttackSpec reports Enabled")
+	}
+	if !atk.Enabled() || !(AttackSpec{Partition: &PartitionSpec{Overlap: 0.2}}).Enabled() {
+		t.Error("configured AttackSpec reports disabled")
+	}
+}
+
+// TestBenignStreamIgnoresAttackSeed pins the bit-identity guarantee at
+// the consensus layer: without Byzantine validators or a partition, the
+// event stream must not depend on the adversarial RNG at all.
+func TestBenignStreamIgnoresAttackSeed(t *testing.T) {
+	run := func(attackSeed int64) []Event {
+		n := NewNetwork(Config{Seed: 7, AttackSeed: attackSeed}, December2015(40).Specs)
+		var events []Event
+		n.Subscribe(func(ev Event) { events = append(events, ev) })
+		if _, err := n.Run(40, nil); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := run(111), run(999_999)
+	if len(a) == 0 {
+		t.Fatal("benign run emitted no events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("benign event stream depends on AttackSeed: attack plumbing leaked into the benign path")
+	}
+}
+
+// TestBenignScenarioMatchesPlainNetwork: a ScenarioConfig with a zero
+// AttackSpec drives the identical network a direct NewNetwork would.
+func TestBenignScenarioMatchesPlainNetwork(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{Name: "benign", Rounds: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForkRounds != 0 || res.Equivocations != 0 || res.CensoredRounds != 0 {
+		t.Errorf("benign scenario reported attack outcomes: forks=%d equiv=%d censored=%d",
+			res.ForkRounds, res.Equivocations, res.CensoredRounds)
+	}
+	if res.StallRounds > res.Rounds/2 {
+		t.Errorf("benign scenario stalled %d/%d rounds", res.StallRounds, res.Rounds)
+	}
+	if res.Messages <= 0 || res.MeanLatency <= 0 {
+		t.Errorf("SISSLE metrics missing: messages=%d latency=%v", res.Messages, res.MeanLatency)
+	}
+}
+
+// TestEquivocatorDoubleSigns: the equivocator broadcasts two conflicting
+// validations per round while the canonical chain keeps validating — the
+// safety attack is visible only to a monitor that correlates signatures.
+func TestEquivocatorDoubleSigns(t *testing.T) {
+	sc := ScenarioConfig{Name: "equivocation", Rounds: 40, Seed: 5,
+		Attack: AttackSpec{Equivocators: 1}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivocations != 40 {
+		t.Errorf("Equivocations = %d, want 40 (one conflicting pair per round)", res.Equivocations)
+	}
+	if res.StallRounds > 5 {
+		t.Errorf("equivocator alone stalled %d/40 rounds: it should look benign", res.StallRounds)
+	}
+
+	// The stream-level signal: exactly two validations per sequence from
+	// the equivocator node, with different hashes.
+	net, traffic := sc.Build()
+	eq, ok := net.NodeIDOf("equivocator-1")
+	if !ok {
+		t.Fatal("equivocator-1 not registered")
+	}
+	perSeq := map[uint64]int{}
+	hashes := map[uint64]map[[32]byte]bool{}
+	net.Subscribe(func(ev Event) {
+		if ev.Kind == EventValidation && ev.Node == eq {
+			perSeq[ev.Seq]++
+			if hashes[ev.Seq] == nil {
+				hashes[ev.Seq] = map[[32]byte]bool{}
+			}
+			hashes[ev.Seq][ev.LedgerHash] = true
+		}
+	})
+	if _, err := net.Run(10, traffic); err != nil {
+		t.Fatal(err)
+	}
+	for seq, count := range perSeq {
+		if count != 2 {
+			t.Errorf("seq %d: equivocator emitted %d validations, want 2", seq, count)
+		}
+		if len(hashes[seq]) != 2 {
+			t.Errorf("seq %d: equivocator signed %d distinct hashes, want 2", seq, len(hashes[seq]))
+		}
+	}
+}
+
+// TestCensorBlocksVictim: one censor keeps the victim's payments out of
+// the ledger every round (the agreed set requires unanimity), while
+// background traffic still closes.
+func TestCensorBlocksVictim(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{Name: "censorship", Rounds: 30, Seed: 5,
+		Attack: AttackSpec{Censors: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CensoredRounds != 30 {
+		t.Errorf("CensoredRounds = %d, want 30: a single censor vetoes the victim every round", res.CensoredRounds)
+	}
+	if res.MaxCensorStreak != 30 {
+		t.Errorf("MaxCensorStreak = %d, want 30", res.MaxCensorStreak)
+	}
+	closedTxs := 0
+	for _, o := range res.Outcomes {
+		closedTxs += o.AgreedTxs
+	}
+	if closedTxs == 0 {
+		t.Error("no background traffic closed: censorship should be selective, not a stall")
+	}
+}
+
+// TestDelayerDegradesLiveness: delayed proposers break liveness twice
+// over. Any delayer empties the agreed set (the final 95% iteration
+// cannot pass with a silent proposer in the denominator), and enough
+// trusted delayers drag validation below the 80% quorum.
+func TestDelayerDegradesLiveness(t *testing.T) {
+	// One delayer: transaction throughput dies, validation survives.
+	one, err := RunScenario(ScenarioConfig{Name: "delay-1", Rounds: 20, Seed: 5,
+		Attack: AttackSpec{Delayers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range one.Outcomes {
+		if o.AgreedTxs != 0 {
+			t.Fatalf("round %d agreed %d txs despite a withholding proposer", o.Round, o.AgreedTxs)
+		}
+	}
+	if one.StallRounds == one.Rounds {
+		t.Error("one delayer should not stall every validation round")
+	}
+
+	// Three trusted delayers: quorum = ceil(0.8·11) = 9 > 8 possible
+	// signers — validation stalls every round.
+	three, err := RunScenario(ScenarioConfig{Name: "delay-3", Rounds: 20, Seed: 5,
+		Attack: AttackSpec{Delayers: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.StallRounds != three.Rounds {
+		t.Errorf("StallRounds = %d, want %d: 3 trusted delayers leave quorum unreachable",
+			three.StallRounds, three.Rounds)
+	}
+	if three.MaxStallStreak != three.Rounds {
+		t.Errorf("MaxStallStreak = %d, want %d", three.MaxStallStreak, three.Rounds)
+	}
+}
+
+// TestDelayerValidationsArriveLate: the delayer's signature for sequence
+// s is broadcast during round s+1, after validations for s+1 — trailing
+// the stream's sequence high-water mark, which is how a monitor spots it.
+func TestDelayerValidationsArriveLate(t *testing.T) {
+	sc := ScenarioConfig{Rounds: 10, Seed: 5, Attack: AttackSpec{Delayers: 1}}
+	net, traffic := sc.Build()
+	dl, ok := net.NodeIDOf("delayer-1")
+	if !ok {
+		t.Fatal("delayer-1 not registered")
+	}
+	var highWater uint64
+	lateSeen := 0
+	net.Subscribe(func(ev Event) {
+		if ev.Kind != EventValidation {
+			return
+		}
+		if ev.Node == dl {
+			if ev.Seq >= highWater {
+				t.Errorf("delayer validation for seq %d arrived at high-water %d: not late", ev.Seq, highWater)
+			}
+			lateSeen++
+		}
+		if ev.Seq > highWater {
+			highWater = ev.Seq
+		}
+	})
+	if _, err := net.Run(10, traffic); err != nil {
+		t.Fatal(err)
+	}
+	// 10 rounds: validations for seqs 1..9 flushed during rounds 2..10;
+	// seq 10's sits in the queue when the run ends.
+	if lateSeen != 9 {
+		t.Errorf("late validations = %d, want 9", lateSeen)
+	}
+}
+
+// TestPartitionForkBelowBound: overlap 0.2 < 2(1−0.8) — both partition
+// groups reach quorum on different pages and the stream carries two
+// fully validated ledgers at one sequence.
+func TestPartitionForkBelowBound(t *testing.T) {
+	if !ForkFeasible(0.2, 0.8) {
+		t.Fatal("precondition: overlap 0.2 must be below the fork-feasibility bound")
+	}
+	sc := ScenarioConfig{Name: "partition", Rounds: 30, Seed: 5,
+		Attack: AttackSpec{Partition: &PartitionSpec{Overlap: 0.2}}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForkRounds == 0 {
+		t.Fatal("no committed fork in 30 rounds at overlap 0.2")
+	}
+	if res.FirstForkRound == 0 || res.FirstForkRound > 10 {
+		t.Errorf("FirstForkRound = %d, want an early fork", res.FirstForkRound)
+	}
+
+	// Stream-level: a forked round carries two EventLedgerClosed at the
+	// same sequence with different hashes.
+	net, traffic := sc.Build()
+	closes := map[uint64]map[[32]byte]bool{}
+	net.Subscribe(func(ev Event) {
+		if ev.Kind == EventLedgerClosed {
+			if closes[ev.Seq] == nil {
+				closes[ev.Seq] = map[[32]byte]bool{}
+			}
+			closes[ev.Seq][ev.LedgerHash] = true
+		}
+	})
+	if _, err := net.Run(30, traffic); err != nil {
+		t.Fatal(err)
+	}
+	forkSeqs := net.ForkSeqs()
+	if len(forkSeqs) == 0 {
+		t.Fatal("ForkSeqs empty after forked rounds")
+	}
+	for _, seq := range forkSeqs {
+		if len(closes[seq]) != 2 {
+			t.Errorf("fork seq %d: %d distinct closed hashes on the stream, want 2", seq, len(closes[seq]))
+		}
+	}
+}
+
+// TestPartitionSafeAboveBound: overlap 0.8 > 2(1−0.8) — the shared
+// members make simultaneous quorums arithmetically impossible.
+func TestPartitionSafeAboveBound(t *testing.T) {
+	if ForkFeasible(0.8, 0.8) {
+		t.Fatal("precondition: overlap 0.8 must be above the fork-feasibility bound")
+	}
+	res, err := RunScenario(ScenarioConfig{Name: "partition-safe", Rounds: 30, Seed: 5,
+		Attack: AttackSpec{Partition: &PartitionSpec{Overlap: 0.8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForkRounds != 0 {
+		t.Errorf("ForkRounds = %d at overlap 0.8, want 0 (above the bound)", res.ForkRounds)
+	}
+}
+
+// TestScenarioDeterminism: identical configs reproduce identical results.
+func TestScenarioDeterminism(t *testing.T) {
+	sc := ScenarioConfig{Rounds: 15, Seed: 9, Attack: AttackSpec{
+		Equivocators: 1, Censors: 1, Delayers: 1,
+		Partition: &PartitionSpec{Overlap: 0.3},
+	}}
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("scenario runs with identical configs diverged")
+	}
+}
+
+// BenchmarkConsensusRound prices one consensus round per population —
+// the SISSLE message-complexity/latency axis. The custom metrics report
+// modeled protocol cost; ns/op reports simulation throughput.
+func BenchmarkConsensusRound(b *testing.B) {
+	cases := []struct {
+		name   string
+		attack AttackSpec
+	}{
+		{"benign", AttackSpec{}},
+		{"equivocators", AttackSpec{Equivocators: 2}},
+		{"censors", AttackSpec{Censors: 1}},
+		{"partitioned", AttackSpec{Partition: &PartitionSpec{Overlap: 0.2}}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := ScenarioConfig{Rounds: 1, Seed: 2, Attack: bc.attack}
+			net, traffic := sc.Build()
+			var msgs, latencyNs, iters int64
+			b.ResetTimer()
+			for i := 0; b.Loop(); i++ {
+				rr, err := net.RunRound(traffic(i + 1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs += int64(rr.Messages)
+				latencyNs += int64(rr.Latency)
+				iters += int64(rr.ProposalIters)
+			}
+			rounds := int64(b.N)
+			b.ReportMetric(float64(msgs)/float64(rounds), "msgs/round")
+			b.ReportMetric(float64(latencyNs)/float64(rounds)/1e6, "modeled-ms/round")
+			b.ReportMetric(float64(iters)/float64(rounds), "iters/round")
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"ripplestudy/internal/addr"
+	"ripplestudy/internal/ledger"
 )
 
 // Behavior classifies how a validator participates, mirroring the
@@ -39,7 +40,38 @@ const (
 	// parallel test-net chain (testnet.ripple.com); their pages are valid
 	// there but never on the main ledger.
 	BehaviorTestnet
+	// BehaviorEquivocator validators are Byzantine double-signers: every
+	// round they sign the canonical page toward one UNL partition and a
+	// conflicting hash toward the other — the safety attack from
+	// "Security Analysis of Ripple Consensus". In a partitioned round
+	// (Config.Partition) the conflicting signature lands on the rival
+	// partition's page, actively pushing both sides to quorum.
+	BehaviorEquivocator
+	// BehaviorCensor validators participate in the proposal phase like
+	// actives but strip targeted transactions (CensorAccounts) from every
+	// proposal iteration. Because the final agreed set requires unanimity
+	// among proposers, a single censor keeps a target out of the ledger
+	// indefinitely while looking perfectly healthy in Figure 2.
+	BehaviorCensor
+	// BehaviorDelayer validators stall: they withhold their proposal
+	// votes for the first DelayIters iterations (past the 50→65→70%
+	// escalation deadlines by default) and broadcast their validation one
+	// round late, past the close deadline — the liveness attack. A
+	// trusted delayer still counts against the 80% quorum denominator,
+	// so enough of them stall validation entirely.
+	BehaviorDelayer
 )
+
+// Byzantine reports whether the behavior is one of the adversarial
+// classes injected by an AttackSpec rather than a population the paper
+// observed.
+func (b Behavior) Byzantine() bool {
+	switch b {
+	case BehaviorEquivocator, BehaviorCensor, BehaviorDelayer:
+		return true
+	}
+	return false
+}
 
 // String implements fmt.Stringer.
 func (b Behavior) String() string {
@@ -52,6 +84,12 @@ func (b Behavior) String() string {
 		return "forked"
 	case BehaviorTestnet:
 		return "testnet"
+	case BehaviorEquivocator:
+		return "equivocator"
+	case BehaviorCensor:
+		return "censor"
+	case BehaviorDelayer:
+		return "delayer"
 	default:
 		return fmt.Sprintf("Behavior(%d)", int(b))
 	}
@@ -81,6 +119,15 @@ type ValidatorSpec struct {
 	// Trusted marks membership in the UNL used for the 80% validation
 	// quorum. Typically the active validators.
 	Trusted bool
+	// CensorAccounts lists the accounts a BehaviorCensor validator
+	// censors: any candidate payment sent from or to one of them is
+	// stripped from the censor's proposals every iteration.
+	CensorAccounts []addr.AccountID
+	// DelayIters is, for BehaviorDelayer, how many proposal iterations
+	// (the initial broadcast counts as one) the validator withholds its
+	// votes. Zero defaults to 4: silent through the 50%, 65%, and 70%
+	// escalation deadlines, joining only for the final 95% iteration.
+	DelayIters int
 }
 
 // validator is the runtime state of one validator.
@@ -96,17 +143,46 @@ type validator struct {
 
 func newValidator(spec ValidatorSpec) *validator {
 	if spec.Availability == 0 {
-		if spec.Behavior == BehaviorActive {
+		switch {
+		case spec.Behavior == BehaviorActive:
 			spec.Availability = 0.98
-		} else {
+		case spec.Behavior.Byzantine():
+			// Attackers are modeled as well-provisioned: a Byzantine
+			// validator that randomly drops offline only weakens its own
+			// attack, and deterministic presence keeps scenario outcomes
+			// reproducible.
+			spec.Availability = 1.0
+		default:
 			spec.Availability = 0.9
 		}
 	}
 	if spec.SyncProbability == 0 {
 		spec.SyncProbability = 0.05
 	}
+	if spec.Behavior == BehaviorDelayer && spec.DelayIters == 0 {
+		spec.DelayIters = 4
+	}
 	key := addr.KeyPairFromSeed(spec.Seed)
 	return &validator{spec: spec, key: key, id: key.NodeID()}
+}
+
+// censors reports whether the validator strips tx from its proposals.
+func (v *validator) censors(tx *ledger.Tx) bool {
+	if v.spec.Behavior != BehaviorCensor || tx == nil {
+		return false
+	}
+	for _, a := range v.spec.CensorAccounts {
+		if tx.Account == a || tx.Destination == a {
+			return true
+		}
+	}
+	return false
+}
+
+// withholds reports whether a delayer is still silent at the given
+// proposal iteration (0 = the initial broadcast).
+func (v *validator) withholds(iter int) bool {
+	return v.spec.Behavior == BehaviorDelayer && iter < v.spec.DelayIters
 }
 
 // present reports whether the validator exists at the given round.

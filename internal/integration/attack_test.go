@@ -1,0 +1,274 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/faultnet"
+	"ripplestudy/internal/monitor"
+	"ripplestudy/internal/netstream"
+)
+
+// collectScenario runs an adversarial scenario over the real TCP
+// pipeline: the network publishes to a netstream server (optionally
+// behind a fault-injecting listener) and a resilient client feeds the
+// collector. Returns the collector and the client's transport stats.
+func collectScenario(t *testing.T, sc consensus.ScenarioConfig, rounds int, dcfg monitor.DetectorConfig, fcfg *faultnet.Config) (*monitor.Collector, netstream.ClientStats) {
+	t.Helper()
+	opts := []netstream.Option{
+		netstream.WithReplayRing(1 << 15),
+		netstream.WithQueueSize(256),
+		netstream.WithWriteTimeout(2 * time.Second),
+	}
+	if fcfg != nil {
+		opts = append(opts, netstream.WithListenerWrapper(func(ln net.Listener) net.Listener {
+			return faultnet.Wrap(ln, *fcfg)
+		}))
+	}
+	srv, err := netstream.Serve("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	col := monitor.NewCollector()
+	col.ConfigureDetector(dcfg)
+	rc := netstream.NewResilientClient(srv.Addr(), netstream.ResilientOptions{
+		InitialBackoff:         2 * time.Millisecond,
+		MaxBackoff:             50 * time.Millisecond,
+		DialTimeout:            time.Second,
+		ReadTimeout:            25 * time.Millisecond,
+		MaxConsecutiveFailures: 5000,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- rc.Run(ctx, func(ev consensus.Event) error {
+			col.Record(ev)
+			return nil
+		})
+	}()
+
+	net, traffic := sc.Build()
+	var last consensus.Event
+	net.Subscribe(func(ev consensus.Event) {
+		last = ev
+		srv.Publish(ev)
+	})
+	if _, err := net.Run(rounds, traffic); err != nil {
+		t.Fatal(err)
+	}
+	final := net.EventsEmitted()
+	if final == 0 {
+		t.Fatal("scenario emitted no events")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for rc.LastSeq() < final {
+		if time.Now().After(deadline) {
+			t.Fatalf("client stuck at seq %d of %d (stats %+v)", rc.LastSeq(), final, rc.Stats())
+		}
+		srv.Publish(last)
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runErr; err != nil && err != context.Canceled {
+		t.Fatalf("Run: %v", err)
+	}
+	return col, rc.Stats()
+}
+
+// TestAttackMatrixOverNetstream is the headline deliverable: for each
+// adversary class, a scenario over the real TCP pipeline must raise the
+// corresponding monitor alert. The matrix also documents what Figure 2
+// alone would say — the equivocator files under the benign "laggard"
+// class, so without the detector every one of these attacks either
+// hides in a benign population or is indistinguishable from churn.
+func TestAttackMatrixOverNetstream(t *testing.T) {
+	cases := []struct {
+		name   string
+		attack consensus.AttackSpec
+		rounds int
+		want   monitor.AlertKind
+		check  func(t *testing.T, s monitor.AttackSummary)
+	}{
+		{
+			name:   "equivocation",
+			attack: consensus.AttackSpec{Equivocators: 1},
+			rounds: 40,
+			want:   monitor.AlertEquivocation,
+			check: func(t *testing.T, s monitor.AttackSummary) {
+				if s.Equivocations != 40 || s.EquivocatingValidators != 1 {
+					t.Errorf("equivocations=%d validators=%d, want 40 by 1", s.Equivocations, s.EquivocatingValidators)
+				}
+			},
+		},
+		{
+			name:   "censorship",
+			attack: consensus.AttackSpec{Censors: 1},
+			rounds: 40,
+			want:   monitor.AlertCensorship,
+			check: func(t *testing.T, s monitor.AttackSummary) {
+				if s.SuspectedCensoredTxs == 0 {
+					t.Error("no suspected-censored transactions flagged")
+				}
+				if s.Equivocations != 0 {
+					t.Errorf("censor misread as equivocator: %+v", s)
+				}
+			},
+		},
+		{
+			name:   "delayed-proposal",
+			attack: consensus.AttackSpec{Delayers: 1},
+			rounds: 40,
+			want:   monitor.AlertLateValidation,
+			check: func(t *testing.T, s monitor.AttackSummary) {
+				if s.LateValidations == 0 {
+					t.Error("no late validations flagged for the delayed proposer")
+				}
+			},
+		},
+		{
+			name:   "delayed-proposal-quorum-stall",
+			attack: consensus.AttackSpec{Delayers: 3},
+			rounds: 40,
+			want:   monitor.AlertStall,
+			check: func(t *testing.T, s monitor.AttackSummary) {
+				if s.StallAlarms == 0 {
+					t.Error("no liveness stall alarm with quorum unreachable")
+				}
+			},
+		},
+		{
+			name:   "sub-bound-overlap",
+			attack: consensus.AttackSpec{Partition: &consensus.PartitionSpec{Overlap: 0.2}},
+			rounds: 40,
+			want:   monitor.AlertFork,
+			check: func(t *testing.T, s monitor.AttackSummary) {
+				if s.ForkedSequences == 0 {
+					t.Error("no committed fork observed below the overlap bound")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := consensus.ScenarioConfig{Name: tc.name, Rounds: tc.rounds, Seed: 5, Attack: tc.attack}
+			col, cs := collectScenario(t, sc, tc.rounds, monitor.DetectorConfig{}, nil)
+			health := monitor.Health(cs, col)
+			if !health.Attacked() {
+				t.Fatalf("monitor did not mark the collection attacked: %+v", health.Attack)
+			}
+			found := false
+			for _, a := range col.Detector().Alerts() {
+				if a.Kind == tc.want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no %s alert raised; summary %+v", tc.want, health.Attack)
+			}
+			tc.check(t, health.Attack)
+			// The partial Figure 2 report survives the attack.
+			if rep := col.Report(tc.name); len(rep.Validators) == 0 {
+				t.Error("attack run produced an empty Figure 2 report")
+			}
+			t.Logf("%s: %+v", tc.name, health.Attack)
+		})
+	}
+}
+
+// TestChaosComposedWithByzantine layers faultnet transport chaos over a
+// Byzantine population: the detector's verdict and the Figure 2 report
+// must both come through the degraded transport identical to the direct
+// in-process path — fault tolerance and attack detection compose.
+func TestChaosComposedWithByzantine(t *testing.T) {
+	const rounds = 60
+	sc := consensus.ScenarioConfig{
+		Name: "chaos-byzantine", Rounds: rounds, Seed: 5,
+		Attack: consensus.AttackSpec{Equivocators: 1, Censors: 1},
+	}
+
+	// Direct path: collector subscribed straight to the network.
+	direct := monitor.NewCollector()
+	directNet, directTraffic := sc.Build()
+	directNet.Subscribe(direct.Record)
+	if _, err := directNet.Run(rounds, directTraffic); err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP path through >20% injected faults.
+	fcfg := &faultnet.Config{
+		Seed:         42,
+		CorruptRate:  0.12,
+		DropRate:     0.08,
+		TruncateRate: 0.04,
+	}
+	chaos, cs := collectScenario(t, sc, rounds, monitor.DetectorConfig{}, fcfg)
+
+	if cs.Missed != 0 {
+		t.Fatalf("chaos lost %d events; replay ring should have recovered all (stats %+v)", cs.Missed, cs)
+	}
+	directRep, chaosRep := direct.Report(sc.Name), chaos.Report(sc.Name)
+	if !reflect.DeepEqual(directRep, chaosRep) {
+		t.Errorf("Fig. 2 report differs between direct and chaos paths:\ndirect: %+v\nchaos: %+v", directRep, chaosRep)
+	}
+	ds, hs := direct.Detector().Summary(), chaos.Detector().Summary()
+	if !reflect.DeepEqual(ds, hs) {
+		t.Errorf("detector verdict differs between direct and chaos paths:\ndirect: %+v\nchaos: %+v", ds, hs)
+	}
+	health := monitor.Health(cs, chaos)
+	if !health.Complete() {
+		t.Errorf("collection incomplete: %v", health)
+	}
+	if !health.Attacked() || hs.Equivocations == 0 || hs.SuspectedCensoredTxs == 0 {
+		t.Errorf("composed chaos+Byzantine run missed the attack: %+v", hs)
+	}
+	t.Logf("composed run: transport %+v; attack %+v", cs, hs)
+}
+
+// TestBenignScenarioStreamBitIdentical pins that the attack engine adds
+// nothing to a benign run: a ScenarioConfig with a zero AttackSpec
+// emits a byte-identical event stream to a hand-built network of the
+// same seed and population.
+func TestBenignScenarioStreamBitIdentical(t *testing.T) {
+	const rounds = 60
+	sc := consensus.ScenarioConfig{Rounds: rounds, Seed: 7}
+	scNet, _ := sc.Build()
+
+	spec := consensus.December2015(rounds)
+	plain := consensus.NewNetwork(consensus.Config{Seed: 7}, spec.Specs)
+	// Build pre-funds the scenario traffic account; mirror it so the
+	// state digests line up. Traffic itself is withheld from both runs.
+	plain.Engine().Fund(consensus.TrafficAccount(), consensus.ScenarioFunding)
+
+	encode := func(n *consensus.Network) [][]byte {
+		var out [][]byte
+		n.Subscribe(func(ev consensus.Event) {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b)
+		})
+		if _, err := n.Run(rounds, nil); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := encode(scNet), encode(plain)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: scenario %d, plain %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("event %d differs:\nscenario: %s\nplain:    %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package monitor
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledger"
+)
+
+// The fork/equivocation detector. The Figure 2 pipeline observes a
+// benign population; this layer watches the same Record(ev) stream for
+// the adversaries of "Security Analysis of Ripple Consensus": validators
+// double-signing one ledger sequence (equivocation), two fully validated
+// pages at the same sequence (a committed fork), transactions proposed
+// round after round but never closed (censorship), rounds that stop
+// producing validated ledgers (liveness stall), and validations that
+// trail the stream's sequence high-water mark (delayed proposers).
+//
+// The detector's per-event bookkeeping also subsumes duplicate
+// suppression: an exact replay of a previously recorded event (same
+// kind, signer, sequence, hash, and signature) is dropped before it can
+// double-count a validator's totals.
+
+// AlertKind classifies a detector alert.
+type AlertKind int
+
+const (
+	// AlertEquivocation: one validator signed two different page hashes
+	// at the same ledger sequence.
+	AlertEquivocation AlertKind = iota + 1
+	// AlertFork: two fully validated pages observed at one sequence.
+	AlertFork
+	// AlertCensorship: a transaction was proposed but has not closed
+	// within the configured number of subsequent ledger closes.
+	AlertCensorship
+	// AlertStall: the stream carries validations for sequences far past
+	// the last fully validated close — consensus has stopped finalizing.
+	AlertStall
+	// AlertLateValidation: a validation arrived for a sequence below the
+	// stream's high-water mark — the signature of a delayed proposer.
+	AlertLateValidation
+)
+
+// String implements fmt.Stringer.
+func (k AlertKind) String() string {
+	switch k {
+	case AlertEquivocation:
+		return "equivocation"
+	case AlertFork:
+		return "fork"
+	case AlertCensorship:
+		return "censorship"
+	case AlertStall:
+		return "stall"
+	case AlertLateValidation:
+		return "late-validation"
+	default:
+		return fmt.Sprintf("AlertKind(%d)", int(k))
+	}
+}
+
+// Alert is one detected attack indicator.
+type Alert struct {
+	Kind AlertKind
+	// Node is the implicated validator (equivocation, late validation).
+	Node addr.NodeID
+	// Seq is the ledger sequence the alert refers to.
+	Seq uint64
+	// Hashes are the conflicting page hashes (equivocation, fork).
+	Hashes []ledger.Hash
+	// TxHash is the suspected-censored transaction (censorship).
+	TxHash ledger.Hash
+	// Detail is a human-readable one-liner.
+	Detail string
+}
+
+// String renders the alert as a log line.
+func (a Alert) String() string {
+	return fmt.Sprintf("ALERT %s: %s", a.Kind, a.Detail)
+}
+
+// DetectorConfig tunes the detector's suspicion thresholds.
+type DetectorConfig struct {
+	// CensorshipCloses is how many ledger closes a proposed transaction
+	// may miss before it is flagged as suspected-censored (default 5).
+	CensorshipCloses int
+	// StallSequences is how many sequences past the last fully validated
+	// close the stream may advance before the liveness alarm (default 10).
+	StallSequences int
+	// OnAlert, when set, is invoked synchronously for every alert as it
+	// fires — the consensus-monitor CLI streams these to stderr.
+	OnAlert func(Alert)
+}
+
+// maxStoredAlerts bounds the retained alert list; counters keep exact
+// totals past the cap.
+const maxStoredAlerts = 1024
+
+type nodeSeq struct {
+	node addr.NodeID
+	seq  uint64
+}
+
+// dedupKey identifies one event exactly: kind, signer, sequence, page
+// hash, and a digest of the signature (and proposal tx set). Two events
+// agreeing on all five are replays of the same broadcast; the digest
+// keeps forged re-signatures of the same page distinct and countable.
+type dedupKey struct {
+	kind   consensus.EventKind
+	node   addr.NodeID
+	seq    uint64
+	hash   ledger.Hash
+	digest uint64
+}
+
+type pendingTx struct {
+	firstSeq uint64
+	closes   int
+	alerted  bool
+}
+
+// Detector watches a collection stream for attack indicators. Like the
+// Collector it feeds from, it is not safe for concurrent use.
+type Detector struct {
+	cfg     DetectorConfig
+	seen    map[dedupKey]struct{}
+	deduped uint64
+
+	sigsAt        map[nodeSeq][]ledger.Hash
+	equivocations int
+	equivocators  map[addr.NodeID]struct{}
+
+	closedAt map[uint64][]ledger.Hash
+	forked   map[uint64]struct{}
+
+	pending   map[ledger.Hash]*pendingTx
+	suspected int
+
+	firstValSeq  uint64
+	maxValSeq    uint64
+	lastCloseSeq uint64
+	anyClose     bool
+	stallAlarms  int
+	stallRaised  bool
+
+	late      int
+	lateSeen  map[nodeSeq]struct{}
+	alerts    []Alert
+	allAlerts int
+}
+
+// NewDetector creates a detector; zero config fields take defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	if cfg.CensorshipCloses == 0 {
+		cfg.CensorshipCloses = 5
+	}
+	if cfg.StallSequences == 0 {
+		cfg.StallSequences = 10
+	}
+	return &Detector{
+		cfg:          cfg,
+		seen:         make(map[dedupKey]struct{}),
+		sigsAt:       make(map[nodeSeq][]ledger.Hash),
+		equivocators: make(map[addr.NodeID]struct{}),
+		closedAt:     make(map[uint64][]ledger.Hash),
+		forked:       make(map[uint64]struct{}),
+		pending:      make(map[ledger.Hash]*pendingTx),
+		lateSeen:     make(map[nodeSeq]struct{}),
+	}
+}
+
+// AttackSummary aggregates the detector's findings.
+type AttackSummary struct {
+	// Equivocations counts conflicting page hashes beyond the first per
+	// (validator, sequence); EquivocatingValidators counts the culprits.
+	Equivocations          int
+	EquivocatingValidators int
+	// ForkedSequences counts sequences with two fully validated pages.
+	ForkedSequences int
+	// SuspectedCensoredTxs counts transactions proposed but not closed
+	// within CensorshipCloses subsequent closes.
+	SuspectedCensoredTxs int
+	// StallAlarms counts liveness alarms: the stream advanced
+	// StallSequences past the last fully validated close.
+	StallAlarms int
+	// LateValidations counts validations trailing the sequence
+	// high-water mark — delayed proposers.
+	LateValidations int
+	// DedupedEvents counts exact duplicate events dropped before the
+	// Figure 2 totals.
+	DedupedEvents uint64
+	// Alerts is the total number of alerts raised.
+	Alerts int
+}
+
+// Attacked reports whether any attack indicator fired. Duplicates are
+// transport noise, not an attack, and do not count.
+func (s AttackSummary) Attacked() bool {
+	return s.Equivocations > 0 || s.ForkedSequences > 0 ||
+		s.SuspectedCensoredTxs > 0 || s.StallAlarms > 0 || s.LateValidations > 0
+}
+
+// Summary returns the findings so far.
+func (d *Detector) Summary() AttackSummary {
+	return AttackSummary{
+		Equivocations:          d.equivocations,
+		EquivocatingValidators: len(d.equivocators),
+		ForkedSequences:        len(d.forked),
+		SuspectedCensoredTxs:   d.suspected,
+		StallAlarms:            d.stallAlarms,
+		LateValidations:        d.late,
+		DedupedEvents:          d.deduped,
+		Alerts:                 d.allAlerts,
+	}
+}
+
+// Alerts returns the retained alerts (the first maxStoredAlerts).
+func (d *Detector) Alerts() []Alert { return d.alerts }
+
+func (d *Detector) raise(a Alert) {
+	d.allAlerts++
+	if len(d.alerts) < maxStoredAlerts {
+		d.alerts = append(d.alerts, a)
+	}
+	if d.cfg.OnAlert != nil {
+		d.cfg.OnAlert(a)
+	}
+}
+
+// duplicate reports (and counts) whether the event replays one already
+// observed. The collector calls it before recording anything.
+func (d *Detector) duplicate(ev consensus.Event) bool {
+	h := fnv.New64a()
+	h.Write(ev.Signature)
+	for _, tx := range ev.TxHashes {
+		h.Write(tx[:])
+	}
+	key := dedupKey{kind: ev.Kind, node: ev.Node, seq: ev.Seq, hash: ev.LedgerHash, digest: h.Sum64()}
+	if _, ok := d.seen[key]; ok {
+		d.deduped++
+		return true
+	}
+	d.seen[key] = struct{}{}
+	return false
+}
+
+// observeValidation checks one validation for equivocation, lateness,
+// and liveness stall.
+func (d *Detector) observeValidation(ev consensus.Event) {
+	ns := nodeSeq{ev.Node, ev.Seq}
+
+	// Late: the sequence trails the stream's high-water mark. A benign
+	// validator broadcasts within its round, before any higher sequence
+	// appears; only a delayed proposer's signature shows up afterwards.
+	if ev.Seq < d.maxValSeq {
+		if _, ok := d.lateSeen[ns]; !ok {
+			d.lateSeen[ns] = struct{}{}
+			d.late++
+			d.raise(Alert{
+				Kind: AlertLateValidation, Node: ev.Node, Seq: ev.Seq,
+				Detail: fmt.Sprintf("validator %s validated seq %d after the stream reached seq %d — delayed proposer",
+					ev.Node.Short(), ev.Seq, d.maxValSeq),
+			})
+		}
+	}
+	if d.firstValSeq == 0 || ev.Seq < d.firstValSeq {
+		d.firstValSeq = ev.Seq
+	}
+	if ev.Seq > d.maxValSeq {
+		d.maxValSeq = ev.Seq
+	}
+
+	// Equivocation: a second distinct hash at one (validator, sequence).
+	prev := d.sigsAt[ns]
+	for _, h := range prev {
+		if h == ev.LedgerHash {
+			return
+		}
+	}
+	d.sigsAt[ns] = append(prev, ev.LedgerHash)
+	if len(prev) > 0 {
+		d.equivocations++
+		d.equivocators[ev.Node] = struct{}{}
+		d.raise(Alert{
+			Kind: AlertEquivocation, Node: ev.Node, Seq: ev.Seq,
+			Hashes: append(append([]ledger.Hash(nil), prev...), ev.LedgerHash),
+			Detail: fmt.Sprintf("validator %s double-signed seq %d (%d conflicting hashes)",
+				ev.Node.Short(), ev.Seq, len(prev)+1),
+		})
+	}
+
+	d.checkStall()
+}
+
+// observeClose checks one ledger close for divergent chains, advances
+// the liveness watermark, and sweeps the censorship suspicion table.
+func (d *Detector) observeClose(ev consensus.Event) {
+	prev := d.closedAt[ev.Seq]
+	known := false
+	for _, h := range prev {
+		if h == ev.LedgerHash {
+			known = true
+			break
+		}
+	}
+	if !known {
+		d.closedAt[ev.Seq] = append(prev, ev.LedgerHash)
+		if len(prev) > 0 {
+			d.forked[ev.Seq] = struct{}{}
+			d.raise(Alert{
+				Kind: AlertFork, Seq: ev.Seq,
+				Hashes: append(append([]ledger.Hash(nil), prev...), ev.LedgerHash),
+				Detail: fmt.Sprintf("two fully validated ledgers at seq %d — committed fork", ev.Seq),
+			})
+		}
+	}
+
+	if ev.Seq > d.lastCloseSeq {
+		d.lastCloseSeq = ev.Seq
+	}
+	d.anyClose = true
+	if d.gap() < uint64(d.cfg.StallSequences) {
+		d.stallRaised = false
+	}
+
+	// Censorship sweep: every pending proposed transaction either closed
+	// in this page or survived one more close without closing.
+	closed := make(map[ledger.Hash]struct{}, len(ev.TxHashes))
+	for _, h := range ev.TxHashes {
+		closed[h] = struct{}{}
+	}
+	for txh, p := range d.pending {
+		if _, ok := closed[txh]; ok {
+			delete(d.pending, txh)
+			continue
+		}
+		p.closes++
+		if !p.alerted && p.closes >= d.cfg.CensorshipCloses {
+			p.alerted = true
+			d.suspected++
+			d.raise(Alert{
+				Kind: AlertCensorship, Seq: ev.Seq, TxHash: txh,
+				Detail: fmt.Sprintf("tx %x… proposed at seq %d still unclosed after %d closes — suspected censorship",
+					txh[:4], p.firstSeq, p.closes),
+			})
+		}
+	}
+}
+
+// observeProposal registers the round's candidate transactions for the
+// censorship sweep.
+func (d *Detector) observeProposal(ev consensus.Event) {
+	for _, txh := range ev.TxHashes {
+		if _, ok := d.pending[txh]; !ok {
+			d.pending[txh] = &pendingTx{firstSeq: ev.Seq}
+		}
+	}
+}
+
+// gap is how many sequences the validation stream has advanced past the
+// last fully validated close (from the first observed sequence when no
+// close has been seen yet, so a mid-stream subscription does not alarm
+// on history it never saw).
+func (d *Detector) gap() uint64 {
+	base := d.lastCloseSeq
+	if !d.anyClose {
+		if d.firstValSeq == 0 {
+			return 0
+		}
+		base = d.firstValSeq - 1
+	}
+	if d.maxValSeq <= base {
+		return 0
+	}
+	return d.maxValSeq - base
+}
+
+func (d *Detector) checkStall() {
+	if d.stallRaised {
+		return
+	}
+	if g := d.gap(); g >= uint64(d.cfg.StallSequences) {
+		d.stallRaised = true
+		d.stallAlarms++
+		detail := fmt.Sprintf("no fully validated ledger for %d sequences (stream at seq %d, last close seq %d)",
+			g, d.maxValSeq, d.lastCloseSeq)
+		if !d.anyClose {
+			detail = fmt.Sprintf("no fully validated ledger in %d observed sequences (stream at seq %d)", g, d.maxValSeq)
+		}
+		d.raise(Alert{Kind: AlertStall, Seq: d.maxValSeq, Detail: detail})
+	}
+}

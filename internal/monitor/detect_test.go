@@ -1,0 +1,321 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledger"
+)
+
+// signedValidation builds a well-formed validation event.
+func signedValidation(kpSeed uint64, seq uint64, h ledger.Hash) consensus.Event {
+	kp := addr.KeyPairFromSeed(kpSeed)
+	return consensus.Event{
+		Kind:       consensus.EventValidation,
+		Seq:        seq,
+		LedgerHash: h,
+		Node:       kp.NodeID(),
+		Signature:  kp.Sign(h[:]),
+	}
+}
+
+func closeEvent(seq uint64, h ledger.Hash, txs ...ledger.Hash) consensus.Event {
+	return consensus.Event{Kind: consensus.EventLedgerClosed, Seq: seq, LedgerHash: h, TxHashes: txs}
+}
+
+func pageHash(seq uint64) ledger.Hash {
+	return ledger.SHA512Half([]byte{byte(seq), byte(seq >> 8), 'p'})
+}
+
+// runBenignRound feeds one benign round: every node validates the page,
+// then the ledger closes.
+func benignRound(c *Collector, seq uint64, nodes ...uint64) {
+	h := pageHash(seq)
+	for _, n := range nodes {
+		c.Record(signedValidation(n, seq, h))
+	}
+	c.Record(closeEvent(seq, h))
+}
+
+func TestDetectorFlagsEquivocation(t *testing.T) {
+	c := NewCollector()
+	var alerts []Alert
+	c.ConfigureDetector(DetectorConfig{OnAlert: func(a Alert) { alerts = append(alerts, a) }})
+	benignRound(c, 1, 1, 2, 3)
+
+	// Node 1 signs a second, conflicting hash at seq 2.
+	h := pageHash(2)
+	rival := ledger.SHA512Half([]byte("rival page"))
+	c.Record(signedValidation(1, 2, h))
+	c.Record(signedValidation(1, 2, rival))
+	c.Record(signedValidation(2, 2, h))
+	c.Record(closeEvent(2, h))
+
+	s := c.Detector().Summary()
+	if s.Equivocations != 1 || s.EquivocatingValidators != 1 {
+		t.Errorf("summary = %+v, want 1 equivocation by 1 validator", s)
+	}
+	if !s.Attacked() {
+		t.Error("equivocation did not mark the collection attacked")
+	}
+	if len(alerts) != 1 || alerts[0].Kind != AlertEquivocation {
+		t.Fatalf("alerts = %v, want one equivocation alert", alerts)
+	}
+	if alerts[0].Node != addr.KeyPairFromSeed(1).NodeID() || alerts[0].Seq != 2 {
+		t.Errorf("alert attribution wrong: %+v", alerts[0])
+	}
+	if len(alerts[0].Hashes) != 2 {
+		t.Errorf("alert carries %d hashes, want the conflicting pair", len(alerts[0].Hashes))
+	}
+	// The double-signed page still counts in the Figure 2 totals: the
+	// equivocator looks MORE active, not less.
+	rep := c.Report("equiv")
+	for _, v := range rep.Validators {
+		if v.Node == alerts[0].Node && v.Total != 3 {
+			t.Errorf("equivocator total = %d, want 3 (both signatures counted)", v.Total)
+		}
+	}
+}
+
+func TestDetectorFlagsFork(t *testing.T) {
+	c := NewCollector()
+	benignRound(c, 1, 1, 2, 3)
+	h := pageHash(2)
+	rival := ledger.SHA512Half([]byte("fork page"))
+	c.Record(signedValidation(1, 2, h))
+	c.Record(closeEvent(2, rival)) // the rival partition's close
+	c.Record(closeEvent(2, h))     // the canonical close
+
+	s := c.Detector().Summary()
+	if s.ForkedSequences != 1 {
+		t.Errorf("ForkedSequences = %d, want 1", s.ForkedSequences)
+	}
+	if !s.Attacked() {
+		t.Error("a committed fork did not mark the collection attacked")
+	}
+	// Both pages are "valid" for Figure 2 purposes — the fork poisons
+	// the valid-page set, which is exactly why it must be alarmed.
+	found := false
+	for _, a := range c.Detector().Alerts() {
+		if a.Kind == AlertFork && a.Seq == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no fork alert at seq 2")
+	}
+}
+
+func TestDetectorFlagsCensorship(t *testing.T) {
+	c := NewCollector()
+	c.ConfigureDetector(DetectorConfig{CensorshipCloses: 3})
+	victim := ledger.SHA512Half([]byte("victim tx"))
+	for seq := uint64(1); seq <= 5; seq++ {
+		bg := ledger.SHA512Half([]byte{byte(seq), 'b', 'g'})
+		c.Record(consensus.Event{Kind: consensus.EventProposal, Seq: seq, TxHashes: []ledger.Hash{victim, bg}})
+		c.Record(signedValidation(1, seq, pageHash(seq)))
+		c.Record(closeEvent(seq, pageHash(seq), bg)) // bg closes, victim never does
+	}
+	s := c.Detector().Summary()
+	if s.SuspectedCensoredTxs != 1 {
+		t.Errorf("SuspectedCensoredTxs = %d, want 1", s.SuspectedCensoredTxs)
+	}
+	var alert *Alert
+	for i, a := range c.Detector().Alerts() {
+		if a.Kind == AlertCensorship {
+			alert = &c.Detector().Alerts()[i]
+		}
+	}
+	if alert == nil {
+		t.Fatal("no censorship alert")
+	}
+	if alert.TxHash != victim {
+		t.Errorf("censorship alert names tx %x, want the victim", alert.TxHash[:4])
+	}
+}
+
+func TestDetectorCensorshipNeedsProposals(t *testing.T) {
+	// Without streamed proposals the censorship detector is blind — the
+	// documented miss for metadata-only streams.
+	c := NewCollector()
+	c.ConfigureDetector(DetectorConfig{CensorshipCloses: 1})
+	for seq := uint64(1); seq <= 5; seq++ {
+		benignRound(c, seq, 1, 2)
+	}
+	if s := c.Detector().Summary(); s.SuspectedCensoredTxs != 0 {
+		t.Errorf("censorship suspected without proposal events: %+v", s)
+	}
+}
+
+func TestDetectorFlagsStall(t *testing.T) {
+	c := NewCollector()
+	c.ConfigureDetector(DetectorConfig{StallSequences: 4})
+	benignRound(c, 1, 1, 2, 3)
+	// Sequences keep rising, nothing closes.
+	for seq := uint64(2); seq <= 6; seq++ {
+		c.Record(signedValidation(1, seq, pageHash(seq)))
+	}
+	s := c.Detector().Summary()
+	if s.StallAlarms != 1 {
+		t.Errorf("StallAlarms = %d, want 1", s.StallAlarms)
+	}
+	// A close resets the alarm; a fresh stall re-alarms.
+	c.Record(closeEvent(6, pageHash(6)))
+	for seq := uint64(7); seq <= 11; seq++ {
+		c.Record(signedValidation(1, seq, pageHash(seq)))
+	}
+	if s := c.Detector().Summary(); s.StallAlarms != 2 {
+		t.Errorf("StallAlarms after recovery and re-stall = %d, want 2", s.StallAlarms)
+	}
+}
+
+func TestDetectorNoStallOnMidStreamSubscription(t *testing.T) {
+	// A collector subscribing at seq 1000 must not alarm over the 999
+	// sequences it never watched.
+	c := NewCollector()
+	c.ConfigureDetector(DetectorConfig{StallSequences: 10})
+	for seq := uint64(1000); seq < 1005; seq++ {
+		benignRound(c, seq, 1, 2)
+	}
+	if s := c.Detector().Summary(); s.StallAlarms != 0 {
+		t.Errorf("mid-stream subscription raised %d stall alarms", s.StallAlarms)
+	}
+}
+
+func TestDetectorFlagsLateValidation(t *testing.T) {
+	c := NewCollector()
+	benignRound(c, 1, 1, 2)
+	benignRound(c, 2, 1, 2)
+	// Node 3's validation for seq 1 arrives after the stream reached 2.
+	c.Record(signedValidation(3, 1, pageHash(1)))
+	s := c.Detector().Summary()
+	if s.LateValidations != 1 {
+		t.Errorf("LateValidations = %d, want 1", s.LateValidations)
+	}
+	if !s.Attacked() {
+		t.Error("late validation did not mark the collection attacked")
+	}
+}
+
+// TestCollectorDeduplicatesReplayedStream is the satellite regression:
+// replaying the identical event stream into the collector twice must not
+// change the Figure 2 report.
+func TestCollectorDeduplicatesReplayedStream(t *testing.T) {
+	var stream []consensus.Event
+	for seq := uint64(1); seq <= 5; seq++ {
+		h := pageHash(seq)
+		for _, n := range []uint64{1, 2, 3} {
+			stream = append(stream, signedValidation(n, seq, h))
+		}
+		stream = append(stream, closeEvent(seq, h))
+	}
+
+	once := NewCollector()
+	for _, ev := range stream {
+		once.Record(ev)
+	}
+	twice := NewCollector()
+	for _, ev := range stream {
+		twice.Record(ev)
+	}
+	for _, ev := range stream { // full replay-ring redelivery
+		twice.Record(ev)
+	}
+
+	if !reflect.DeepEqual(once.Report("p"), twice.Report("p")) {
+		t.Error("duplicated stream changed the Figure 2 report")
+	}
+	if twice.Events() != once.Events() {
+		t.Errorf("events: once=%d twice=%d, duplicates double-counted", once.Events(), twice.Events())
+	}
+	s := twice.Detector().Summary()
+	if s.DedupedEvents != uint64(len(stream)) {
+		t.Errorf("DedupedEvents = %d, want %d", s.DedupedEvents, len(stream))
+	}
+	if s.Attacked() {
+		t.Errorf("pure duplication misread as an attack: %+v", s)
+	}
+}
+
+// TestForgedResignatureStillCounted pins the boundary between a replayed
+// duplicate and a distinct (forged) signature over the same page: the
+// latter is a new observation and must keep counting.
+func TestForgedResignatureStillCounted(t *testing.T) {
+	c := NewCollector()
+	kp := addr.KeyPairFromSeed(1)
+	h := pageHash(1)
+	c.Record(signedValidation(1, 1, h))
+	c.Record(consensus.Event{
+		Kind: consensus.EventValidation, Seq: 1, Node: kp.NodeID(),
+		LedgerHash: h, Signature: []byte("forged signature forged sig"),
+	})
+	rep := c.Report("forged")
+	if rep.Validators[0].Total != 2 || rep.Validators[0].BadSignatures != 1 {
+		t.Errorf("stats = %+v, want total 2 with 1 bad signature", rep.Validators[0])
+	}
+	// Same hash both times: suspicious signing, but not equivocation.
+	if s := c.Detector().Summary(); s.Equivocations != 0 {
+		t.Errorf("re-signing the same page flagged as equivocation: %+v", s)
+	}
+}
+
+// TestBenignPeriodRaisesNoAlerts runs the full December 2015 population
+// through the collector: laggards, forked validators, and the testnet
+// cluster must not trip any attack detector.
+func TestBenignPeriodRaisesNoAlerts(t *testing.T) {
+	spec := consensus.December2015(120)
+	net := consensus.NewNetwork(consensus.Config{Seed: 4}, spec.Specs)
+	c := NewCollector()
+	net.Subscribe(c.Record)
+	if _, err := net.Run(spec.Rounds, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Detector().Summary()
+	if s.Attacked() {
+		t.Errorf("benign December 2015 population tripped the detector: %+v", s)
+	}
+	if s.DedupedEvents != 0 {
+		t.Errorf("benign direct stream deduped %d events", s.DedupedEvents)
+	}
+}
+
+// TestEquivocatorMisclassifiedAsActive documents the headline
+// misclassification: in the Figure 2 taxonomy an equivocator's
+// double-signed pages make it look like a benign active/laggard — only
+// the detector's signature-level correlation exposes it.
+func TestEquivocatorMisclassifiedAsActive(t *testing.T) {
+	sc := consensus.ScenarioConfig{Rounds: 60, Seed: 5,
+		Attack: consensus.AttackSpec{Equivocators: 1}}
+	net, traffic := sc.Build()
+	c := NewCollector()
+	net.Subscribe(c.Record)
+	if _, err := net.Run(60, traffic); err != nil {
+		t.Fatal(err)
+	}
+	eq, _ := net.NodeIDOf("equivocator-1")
+	rep := c.Report("equivocator")
+	var stats ValidatorStats
+	for _, v := range rep.Validators {
+		if v.Node == eq {
+			stats = v
+		}
+	}
+	if stats.Total == 0 {
+		t.Fatal("equivocator absent from the report")
+	}
+	// One of its two signatures per round is on the canonical page, so
+	// ValidFraction ≈ closed/(2·rounds) ≤ 0.5 and Class() files it under
+	// the paper's benign "laggard" population — a validator "struggling
+	// to stay in sync". Figure 2 alone cannot see the attack.
+	if got := stats.Class(); got != "laggard" {
+		t.Errorf("equivocator classed %q; the documented miss expects the benign class %q", got, "laggard")
+	}
+	if f := stats.ValidFraction(); f <= 0.3 || f > 0.5 {
+		t.Errorf("equivocator ValidFraction = %.2f, want ≈0.5 from double-signing", f)
+	}
+	if s := c.Detector().Summary(); s.Equivocations != 60 || s.EquivocatingValidators != 1 {
+		t.Errorf("detector missed the equivocator: %+v", s)
+	}
+}

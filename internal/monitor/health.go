@@ -30,10 +30,13 @@ type CollectionHealth struct {
 	Malformed int
 	// Events counts well-formed events recorded.
 	Events int
+	// Attack carries the fork/equivocation detector's findings; the
+	// collection is only trustworthy when it is also attack-free.
+	Attack AttackSummary
 }
 
 // Health combines a resilient client's transport counters with a
-// collector's acceptance counters.
+// collector's acceptance counters and its detector's attack findings.
 func Health(cs netstream.ClientStats, col *Collector) CollectionHealth {
 	return CollectionHealth{
 		Connects:   cs.Connects,
@@ -44,24 +47,37 @@ func Health(cs netstream.ClientStats, col *Collector) CollectionHealth {
 		BadFrames:  cs.BadFrames,
 		Malformed:  col.Malformed(),
 		Events:     col.Events(),
+		Attack:     col.Detector().Summary(),
 	}
 }
 
 // Complete reports whether the collection, despite any faults it
 // survived, lost no events: every published event was either delivered
-// first-hand or recovered through a repair replay.
+// first-hand or recovered through a repair replay. A collection that
+// observed no events at all proves nothing and is never complete — a
+// dead subscription must not masquerade as a clean two-week window.
 func (h CollectionHealth) Complete() bool {
-	return h.Missed == 0 && h.Malformed == 0
+	return h.Events > 0 && h.Missed == 0 && h.Malformed == 0
 }
+
+// Attacked reports whether the detector flagged any attack indicator.
+func (h CollectionHealth) Attacked() bool { return h.Attack.Attacked() }
 
 func (h CollectionHealth) String() string {
 	verdict := "complete"
-	if !h.Complete() {
+	switch {
+	case h.Events == 0:
+		verdict = "empty"
+	case !h.Complete():
 		verdict = "lossy"
 	}
+	if h.Attacked() {
+		verdict += ", ATTACK DETECTED"
+	}
 	return fmt.Sprintf(
-		"events=%d reconnects=%d gaps=%d missed=%d duplicates=%d bad_frames=%d malformed=%d (%s)",
-		h.Events, h.Reconnects, h.Gaps, h.Missed, h.Duplicates, h.BadFrames, h.Malformed, verdict)
+		"events=%d reconnects=%d gaps=%d missed=%d duplicates=%d bad_frames=%d malformed=%d deduped=%d alerts=%d (%s)",
+		h.Events, h.Reconnects, h.Gaps, h.Missed, h.Duplicates, h.BadFrames, h.Malformed,
+		h.Attack.DedupedEvents, h.Attack.Alerts, verdict)
 }
 
 // WriteReport renders the health block that accompanies a Figure 2
@@ -79,19 +95,49 @@ func (h CollectionHealth) WriteReport(w io.Writer) error {
 		{"duplicates deduplicated", h.Duplicates},
 		{"bad frames skipped", h.BadFrames},
 		{"malformed events skipped", h.Malformed},
+		{"duplicates deduped (collector)", h.Attack.DedupedEvents},
 	}
 	if _, err := fmt.Fprintln(w, "Collection health"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "  %-26s %v\n", r.name, r.value); err != nil {
+		if _, err := fmt.Fprintf(w, "  %-30s %v\n", r.name, r.value); err != nil {
 			return err
 		}
 	}
 	verdict := "collection complete: report covers every published event"
-	if !h.Complete() {
+	switch {
+	case h.Events == 0:
+		verdict = "collection empty: no events observed — nothing to report"
+	case !h.Complete():
 		verdict = "collection lossy: the report may undercount"
 	}
-	_, err := fmt.Fprintf(w, "  %s\n", verdict)
+	if _, err := fmt.Fprintf(w, "  %s\n", verdict); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "Adversarial indicators"); err != nil {
+		return err
+	}
+	atk := []struct {
+		name  string
+		value int
+	}{
+		{"equivocations", h.Attack.Equivocations},
+		{"equivocating validators", h.Attack.EquivocatingValidators},
+		{"forked sequences", h.Attack.ForkedSequences},
+		{"suspected censored txs", h.Attack.SuspectedCensoredTxs},
+		{"liveness stall alarms", h.Attack.StallAlarms},
+		{"late validations", h.Attack.LateValidations},
+	}
+	for _, r := range atk {
+		if _, err := fmt.Fprintf(w, "  %-30s %d\n", r.name, r.value); err != nil {
+			return err
+		}
+	}
+	atkVerdict := "no attack indicators"
+	if h.Attacked() {
+		atkVerdict = "ATTACK DETECTED: the observed population is not benign"
+	}
+	_, err := fmt.Fprintf(w, "  %s\n", atkVerdict)
 	return err
 }

@@ -86,11 +86,35 @@ func TestCollectionHealthReport(t *testing.T) {
 		}
 	}
 
-	clean := Health(netstream.ClientStats{Connects: 1}, NewCollector())
+	cleanCol := NewCollector()
+	cleanCol.Record(validEvent(1))
+	clean := Health(netstream.ClientStats{Connects: 1}, cleanCol)
 	if !clean.Complete() {
 		t.Error("clean run must report complete")
 	}
 	if !strings.Contains(clean.String(), "complete") {
 		t.Errorf("String() = %q, want a 'complete' verdict", clean.String())
+	}
+	if clean.Attacked() {
+		t.Errorf("clean run reports an attack: %+v", clean.Attack)
+	}
+}
+
+// TestZeroEventCollectionNotComplete: a subscription that delivered
+// nothing proves nothing — it must not masquerade as a clean window.
+func TestZeroEventCollectionNotComplete(t *testing.T) {
+	empty := Health(netstream.ClientStats{Connects: 1}, NewCollector())
+	if empty.Complete() {
+		t.Error("zero-event collection reported complete")
+	}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Errorf("String() = %q, want an 'empty' verdict", empty.String())
+	}
+	var b strings.Builder
+	if err := empty.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "collection empty") {
+		t.Errorf("report missing the empty-stream verdict:\n%s", b.String())
 	}
 }

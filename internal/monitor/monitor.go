@@ -27,9 +27,11 @@ type Collector struct {
 	sigBad      map[addr.NodeID]int
 	events      int
 	malformed   int
+	detector    *Detector
 }
 
-// NewCollector creates an empty collector.
+// NewCollector creates an empty collector with a default-configured
+// fork/equivocation detector attached.
 func NewCollector() *Collector {
 	return &Collector{
 		validations: make(map[addr.NodeID][]ledger.Hash),
@@ -37,8 +39,16 @@ func NewCollector() *Collector {
 		labels:      make(map[addr.NodeID]string),
 		sigOK:       make(map[addr.NodeID]int),
 		sigBad:      make(map[addr.NodeID]int),
+		detector:    NewDetector(DetectorConfig{}),
 	}
 }
+
+// ConfigureDetector replaces the attached detector. Call before
+// recording any events; findings do not carry over.
+func (c *Collector) ConfigureDetector(cfg DetectorConfig) { c.detector = NewDetector(cfg) }
+
+// Detector exposes the attached fork/equivocation detector.
+func (c *Collector) Detector() *Detector { return c.detector }
 
 // SetLabel associates a public identity (internet domain) with a node.
 // Nodes without labels display their truncated public key, as in the
@@ -49,12 +59,18 @@ func (c *Collector) SetLabel(node addr.NodeID, label string) { c.labels[node] = 
 // kind, a zero page hash, or a validation without a signer — are
 // counted and skipped rather than poisoning the collection: over a
 // two-week window the stream will deliver garbage eventually, and one
-// bad event must not abort or skew the whole period.
+// bad event must not abort or skew the whole period. Exact duplicates
+// (a replay of an already-recorded broadcast) are dropped before the
+// totals, and every well-formed event additionally feeds the attached
+// fork/equivocation detector.
 func (c *Collector) Record(ev consensus.Event) {
 	switch ev.Kind {
 	case consensus.EventValidation:
 		if ev.LedgerHash.IsZero() || ev.Node == (addr.NodeID{}) {
 			c.malformed++
+			return
+		}
+		if c.detector.duplicate(ev) {
 			return
 		}
 		c.events++
@@ -66,13 +82,28 @@ func (c *Collector) Record(ev consensus.Event) {
 				c.sigBad[ev.Node]++
 			}
 		}
+		c.detector.observeValidation(ev)
 	case consensus.EventLedgerClosed:
 		if ev.LedgerHash.IsZero() {
 			c.malformed++
 			return
 		}
+		if c.detector.duplicate(ev) {
+			return
+		}
 		c.events++
 		c.validPages[ev.LedgerHash] = true
+		c.detector.observeClose(ev)
+	case consensus.EventProposal:
+		if ev.Seq == 0 || len(ev.TxHashes) == 0 {
+			c.malformed++
+			return
+		}
+		if c.detector.duplicate(ev) {
+			return
+		}
+		c.events++
+		c.detector.observeProposal(ev)
 	default:
 		c.malformed++
 	}

@@ -1,0 +1,82 @@
+package netstream
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffScheduleGrowsAndCaps: the base doubles per attempt, jitter
+// lands in [base/2, base], and nothing ever exceeds MaxBackoff — the
+// hard cap that keeps a reconnecting fleet from hammering the sim.
+func TestBackoffScheduleGrowsAndCaps(t *testing.T) {
+	opts := ResilientOptions{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     200 * time.Millisecond,
+	}
+	rc := NewResilientClient("unused:0", opts)
+	for attempt := 1; attempt <= 64; attempt++ {
+		base := min(opts.InitialBackoff<<(attempt-1), opts.MaxBackoff)
+		if attempt > 30 { // past any representable shift
+			base = opts.MaxBackoff
+		}
+		d := rc.nextBackoff(attempt)
+		if d < base/2 {
+			t.Errorf("attempt %d: backoff %v below half the base %v", attempt, d, base)
+		}
+		if d > base {
+			t.Errorf("attempt %d: backoff %v above the base %v", attempt, d, base)
+		}
+		if d > opts.MaxBackoff {
+			t.Errorf("attempt %d: backoff %v exceeds the hard cap %v", attempt, d, opts.MaxBackoff)
+		}
+	}
+}
+
+// TestBackoffNoOverflow: absurd attempt counts must saturate at the cap,
+// not wrap a duration multiplication negative.
+func TestBackoffNoOverflow(t *testing.T) {
+	rc := NewResilientClient("unused:0", ResilientOptions{
+		InitialBackoff: time.Second,
+		MaxBackoff:     5 * time.Second,
+	})
+	for _, attempt := range []int{1, 63, 64, 100, 1 << 20} {
+		d := rc.nextBackoff(attempt)
+		if d <= 0 || d > 5*time.Second {
+			t.Errorf("attempt %d: backoff %v out of (0, cap]", attempt, d)
+		}
+	}
+}
+
+// TestBackoffJitterSpreadsClients: two clients with different jitter
+// seeds must not share a reconnect schedule (the thundering-herd fix),
+// while the same seed reproduces the same schedule (chaos-test
+// determinism).
+func TestBackoffJitterSpreadsClients(t *testing.T) {
+	opts := ResilientOptions{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     5 * time.Second,
+	}
+	schedule := func(seed int64) []time.Duration {
+		o := opts
+		o.JitterSeed = seed
+		rc := NewResilientClient("unused:0", o)
+		var out []time.Duration
+		for attempt := 1; attempt <= 10; attempt++ {
+			out = append(out, rc.nextBackoff(attempt))
+		}
+		return out
+	}
+	a, b, a2 := schedule(1), schedule(2), schedule(1)
+	same := 0
+	for i := range a {
+		if a[i] != a2[i] {
+			t.Errorf("attempt %d: same seed diverged: %v vs %v", i+1, a[i], a2[i])
+		}
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different jitter seeds produced identical schedules: no herd spreading")
+	}
+}

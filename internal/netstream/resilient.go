@@ -102,12 +102,20 @@ type ResilientClient struct {
 	opts ResilientOptions
 	rng  *rand.Rand
 
-	mu         sync.Mutex
-	stats      ClientStats
-	lastSeq    uint64
-	repairedAt uint64 // lastSeq value a gap repair was already tried from
-	stopped    bool
+	mu          sync.Mutex
+	stats       ClientStats
+	lastSeq     uint64
+	repairedAt  uint64 // lastSeq value a gap repair was already tried from
+	repairTries int    // repair attempts made from repairedAt
+	stopped     bool
 }
+
+// maxGapRepairs bounds how many repair reconnects are attempted for one
+// gap position before the loss is accepted. The replay itself rides the
+// same degraded transport, so a single attempt can be corrupted away;
+// retrying a few times makes recovery survive fault-on-fault, while the
+// bound keeps a truly evicted range from looping forever.
+const maxGapRepairs = 3
 
 // NewResilientClient prepares a client for addr; no connection is made
 // until Run.
@@ -147,7 +155,6 @@ func (rc *ResilientClient) logf(format string, args ...any) {
 // and detected gaps all reconnect and resume from the last processed
 // sequence.
 func (rc *ResilientClient) Run(ctx context.Context, fn func(ev consensus.Event) error) error {
-	backoff := rc.opts.InitialBackoff
 	failures := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -160,16 +167,15 @@ func (rc *ResilientClient) Run(ctx context.Context, fn func(ev consensus.Event) 
 				return fmt.Errorf("%w: %d consecutive failed connects, last: %v",
 					ErrUnavailable, failures, err)
 			}
-			rc.logf("netstream: connect to %s failed (attempt %d): %v; retrying in ~%v",
+			backoff := rc.nextBackoff(failures)
+			rc.logf("netstream: connect to %s failed (attempt %d): %v; retrying in %v",
 				rc.addr, failures, err, backoff)
 			if !rc.sleep(ctx, backoff) {
 				return ctx.Err()
 			}
-			backoff = min(backoff*2, rc.opts.MaxBackoff)
 			continue
 		}
 		failures = 0
-		backoff = rc.opts.InitialBackoff
 		c.readTimeout = rc.opts.ReadTimeout
 		c.stallAfter = rc.opts.StallTimeout
 		rc.mu.Lock()
@@ -207,13 +213,31 @@ func (rc *ResilientClient) Run(ctx context.Context, fn func(ev consensus.Event) 
 	}
 }
 
-// sleep waits for d (with ±25% deterministic jitter), returning false
-// if the context is cancelled first.
-func (rc *ResilientClient) sleep(ctx context.Context, d time.Duration) bool {
+// nextBackoff returns the delay before reconnect attempt `attempt`
+// (1-based): the exponential base min(InitialBackoff·2^(attempt−1),
+// MaxBackoff) jittered uniformly down into [base/2, base]. The jitter
+// spreads a fleet of subscribers that lost the same server at the same
+// instant, so their reconnects don't thundering-herd the sim; the
+// result is deterministic per JitterSeed and NEVER exceeds MaxBackoff.
+func (rc *ResilientClient) nextBackoff(attempt int) time.Duration {
+	base, limit := rc.opts.InitialBackoff, rc.opts.MaxBackoff
+	for i := 1; i < attempt && base < limit; i++ {
+		if base > limit/2 { // doubling again would pass (or overflow past) the cap
+			base = limit
+			break
+		}
+		base *= 2
+	}
+	base = min(base, limit)
 	rc.mu.Lock()
-	jittered := 3*d/4 + time.Duration(rc.rng.Int63n(int64(d)))/2
+	d := base/2 + time.Duration(rc.rng.Int63n(int64(base/2)+1))
 	rc.mu.Unlock()
-	t := time.NewTimer(jittered)
+	return min(d, limit)
+}
+
+// sleep waits for d, returning false if the context is cancelled first.
+func (rc *ResilientClient) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -239,12 +263,20 @@ func (rc *ResilientClient) observe(ev consensus.Event, fn func(consensus.Event) 
 				// to replay from lastSeq. The cursor stays put so the
 				// replay can fill the hole.
 				rc.repairedAt = rc.lastSeq
+				rc.repairTries = 1
 				rc.stats.Gaps++
 				rc.mu.Unlock()
 				return errRepair
 			}
-			// The repair came back and the hole is still there: the
-			// ring no longer holds the range. Accept the loss.
+			if rc.repairTries < maxGapRepairs {
+				// The repair replay itself lost the frame (it rides the
+				// same degraded transport); try again.
+				rc.repairTries++
+				rc.mu.Unlock()
+				return errRepair
+			}
+			// Repeated repairs came back and the hole is still there:
+			// the ring no longer holds the range. Accept the loss.
 			rc.stats.Missed += seq - rc.lastSeq - 1
 		}
 		rc.lastSeq = seq
