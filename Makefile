@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos attack bench fuzz check
+.PHONY: all build vet test race chaos attack bench bench-check fuzz check
 
 all: check
 
@@ -34,6 +34,7 @@ bench:
 	$(GO) run ./cmd/benchjson -out BENCH_store.json < bench_store.out
 	@echo "wrote BENCH_store.json"
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve | tee bench_serve.out
+	$(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance $(TOLERANCE) < bench_serve.out
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json < bench_serve.out
 	@echo "wrote BENCH_serve.json"
 	$(GO) test -run '^$$' -bench 'Table2Replay|Pathfind' -benchmem . | tee bench_replay.out
@@ -42,6 +43,16 @@ bench:
 	$(GO) test -run '^$$' -bench 'ConsensusRound' -benchmem ./internal/consensus | tee bench_consensus.out
 	$(GO) run ./cmd/benchjson -out BENCH_consensus.json < bench_consensus.out
 	@echo "wrote BENCH_consensus.json"
+
+# Regression smoke: re-run the serving-layer benchmarks and gate ns/op
+# against the committed archive without rewriting it. TOLERANCE is the
+# allowed regression in percent; the archived numbers come from one
+# machine, so loosen it when checking on very different hardware
+# (`make bench-check TOLERANCE=50`).
+TOLERANCE ?= 20
+bench-check:
+	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve | tee bench_serve.out
+	$(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance $(TOLERANCE) < bench_serve.out
 
 # Fuzz smoke: brief randomized exploration of the zero-copy decode
 # surfaces (the in-place payment scan and the arena page decoder),

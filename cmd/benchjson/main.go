@@ -13,6 +13,17 @@
 // re-measured benchmark names are replaced in place, entries for
 // benchmarks not in this run are kept, and new names append — so one
 // archive can accumulate results from several `go test -bench` passes.
+//
+// With -check, the run is instead compared against an archived baseline
+// and the command fails when any benchmark's ns/op regressed by more
+// than -tolerance percent:
+//
+//	go test -run '^$' -bench Serve -benchmem ./internal/serve | benchjson -check BENCH_serve.json -tolerance 20
+//
+// Names are matched with the trailing -GOMAXPROCS suffix stripped, so a
+// baseline archived on an 8-core runner still gates a 4-core laptop.
+// Benchmarks absent from the baseline are reported but never fail the
+// check (they gate once archived), and improvements are never failures.
 package main
 
 import (
@@ -44,11 +55,89 @@ type Output struct {
 
 func main() {
 	outPath := flag.String("out", "", "write (and merge into) this file instead of stdout")
+	checkPath := flag.String("check", "", "compare against this baseline archive and fail on regression")
+	tolerance := flag.Float64("tolerance", 20, "max allowed ns/op regression in percent for -check")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *outPath); err != nil {
+	var err error
+	if *checkPath != "" {
+		err = runCheck(os.Stdin, os.Stdout, *checkPath, *tolerance)
+	} else {
+		err = run(os.Stdin, os.Stdout, *outPath)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCheck compares a fresh `go test -bench` run (stdin) against an
+// archived baseline and errors if any shared benchmark's ns/op
+// regressed by more than tolerance percent.
+func runCheck(in io.Reader, out io.Writer, baselinePath string, tolerance float64) error {
+	fresh, err := parse(bufio.NewScanner(in))
+	if err != nil {
+		return err
+	}
+	base, err := readExisting(baselinePath)
+	if err != nil {
+		return err
+	}
+	if base == nil {
+		return fmt.Errorf("baseline %s does not exist", baselinePath)
+	}
+	compared, regressed := compare(base, fresh, tolerance, out)
+	if compared == 0 {
+		return fmt.Errorf("no benchmark in this run matches a baseline entry in %s", baselinePath)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed more than %g%% vs %s: %s",
+			len(regressed), compared, tolerance, baselinePath, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintf(out, "ok: %d benchmarks within %g%% of %s\n", compared, tolerance, baselinePath)
+	return nil
+}
+
+// baseName strips the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names, so archives compare across machines with different
+// core counts.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare writes one report line per fresh benchmark and returns how
+// many had a baseline ns/op to compare against plus the names that
+// regressed beyond tolerance.
+func compare(base, fresh *Output, tolerance float64, w io.Writer) (compared int, regressed []string) {
+	baseline := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseline[baseName(e.Name)] = e
+	}
+	for _, e := range fresh.Benchmarks {
+		name := baseName(e.Name)
+		got, okGot := e.Metrics["ns/op"]
+		b, okBase := baseline[name]
+		want, okWant := b.Metrics["ns/op"]
+		if !okGot || !okBase || !okWant || want <= 0 {
+			fmt.Fprintf(w, "skip: %s (no baseline ns/op)\n", name)
+			continue
+		}
+		compared++
+		delta := (got - want) / want * 100
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%s: %s ns/op %.0f vs baseline %.0f (%+.1f%%)\n", status, name, got, want, delta)
+	}
+	return compared, regressed
 }
 
 func run(in io.Reader, stdout io.Writer, outPath string) error {

@@ -154,3 +154,89 @@ func TestStdoutModeUnchanged(t *testing.T) {
 		t.Fatalf("stdout document has %d benchmarks, want 2", len(out.Benchmarks))
 	}
 }
+
+// checkString runs -check against a baseline built from baselineOut.
+func checkString(t *testing.T, baselineOut, freshOut string, tolerance float64) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(strings.NewReader(baselineOut), nil, path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := runCheck(strings.NewReader(freshOut), &buf, path, tolerance)
+	return buf.String(), err
+}
+
+// TestCheckPassesWithinTolerance: a small slowdown and any improvement
+// both pass; the report lists every comparison.
+func TestCheckPassesWithinTolerance(t *testing.T) {
+	baseline := "BenchmarkServeLookup-8  1000  100 ns/op\nBenchmarkServeIngestPage-8  100  5000 ns/op\n"
+	fresh := "BenchmarkServeLookup-8  1000  110 ns/op\nBenchmarkServeIngestPage-8  100  3000 ns/op\n"
+	report, err := checkString(t, baseline, fresh, 20)
+	if err != nil {
+		t.Fatalf("check failed within tolerance: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "ok: 2 benchmarks within 20%") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+// TestCheckFailsOnRegression: one benchmark past tolerance fails the
+// whole check and is named in the error.
+func TestCheckFailsOnRegression(t *testing.T) {
+	baseline := "BenchmarkServeLookup-8  1000  100 ns/op\nBenchmarkServeIngestPage-8  100  5000 ns/op\n"
+	fresh := "BenchmarkServeLookup-8  1000  121 ns/op\nBenchmarkServeIngestPage-8  100  5000 ns/op\n"
+	report, err := checkString(t, baseline, fresh, 20)
+	if err == nil {
+		t.Fatalf("no error for a 21%% regression\n%s", report)
+	}
+	if !strings.Contains(err.Error(), "BenchmarkServeLookup") {
+		t.Fatalf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+// TestCheckMatchesAcrossCoreCounts: the -GOMAXPROCS suffix must not
+// defeat the comparison when baseline and fresh run on different
+// machines.
+func TestCheckMatchesAcrossCoreCounts(t *testing.T) {
+	baseline := "BenchmarkServeLookup-8  1000  100 ns/op\n"
+	fresh := "BenchmarkServeLookup  1000  90 ns/op\n"
+	report, err := checkString(t, baseline, fresh, 20)
+	if err != nil {
+		t.Fatalf("suffix mismatch broke the comparison: %v\n%s", err, report)
+	}
+	fresh = "BenchmarkServeLookup-2  1000  90 ns/op\n"
+	if report, err = checkString(t, baseline, fresh, 20); err != nil {
+		t.Fatalf("suffix mismatch broke the comparison: %v\n%s", err, report)
+	}
+}
+
+// TestCheckNewBenchmarksNeverFail: a benchmark missing from the
+// baseline is reported as skipped, and a run whose entries ALL miss the
+// baseline errs (the check would be vacuous).
+func TestCheckNewBenchmarksNeverFail(t *testing.T) {
+	baseline := "BenchmarkServeLookup-8  1000  100 ns/op\n"
+	fresh := "BenchmarkServeLookup-8  1000  100 ns/op\nBenchmarkBrandNew-8  10  999999 ns/op\n"
+	report, err := checkString(t, baseline, fresh, 20)
+	if err != nil {
+		t.Fatalf("new benchmark failed the check: %v", err)
+	}
+	if !strings.Contains(report, "skip: BenchmarkBrandNew") {
+		t.Fatalf("report = %q", report)
+	}
+	if _, err = checkString(t, baseline, "BenchmarkBrandNew-8  10  1 ns/op\n", 20); err == nil {
+		t.Fatal("no error for a run with zero comparable benchmarks")
+	}
+}
+
+// TestCheckMissingBaseline errors instead of vacuously passing.
+func TestCheckMissingBaseline(t *testing.T) {
+	var buf bytes.Buffer
+	err := runCheck(strings.NewReader(sampleOutput), &buf, filepath.Join(t.TempDir(), "nope.json"), 20)
+	if err == nil {
+		t.Fatal("no error for a missing baseline archive")
+	}
+}

@@ -45,13 +45,23 @@ func main() {
 	period := flag.String("period", "", "label validators from a collection period: dec2015|jul2016|nov2016")
 	retries := flag.Int("retries", 8, "consecutive connection failures before giving up on the stream")
 	stall := flag.Duration("stall", 30*time.Second, "reconnect if no event arrives for this long (0 = never)")
-	queue := flag.Int("queue", 1024, "per-view ingest queue size")
+	queue := flag.Int("queue", 1024, "per-view ingest queue size, in batches")
 	batch := flag.Int("batch", 64, "max updates between view snapshot publishes")
+	ingestBatch := flag.Int("ingest-batch", 0, "pages per ingest fan-out batch on the backfill paths (0 = default)")
+	fpShards := flag.Int("fp-shards", 0, "fingerprint count shards, rounded up to a power of two (1 = single-writer, 0 = cover GOMAXPROCS)")
 	drop := flag.Bool("drop", false, "shed ingest load when a view falls behind instead of applying backpressure")
 	maxInflight := flag.Int("max-inflight", 64, "max concurrent HTTP queries")
 	flag.Parse()
 
-	if err := run(*listen, *connect, *storeDir, *period, *workers, *retries, *queue, *batch, *maxInflight, *stall, *drop); err != nil {
+	opts := serve.Options{
+		QueueSize:         *queue,
+		PublishBatch:      *batch,
+		IngestBatchPages:  *ingestBatch,
+		FingerprintShards: *fpShards,
+		NonBlocking:       *drop,
+		MaxConcurrent:     *maxInflight,
+	}
+	if err := run(*listen, *connect, *storeDir, *period, *workers, *retries, *stall, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "ripple-serve:", err)
 		os.Exit(1)
 	}
@@ -83,18 +93,13 @@ func periodLabels(period string) (map[addr.NodeID]string, error) {
 	return labels, nil
 }
 
-func run(listen, connect, storeDir, period string, workers, retries, queue, batch, maxInflight int, stall time.Duration, drop bool) error {
+func run(listen, connect, storeDir, period string, workers, retries int, stall time.Duration, opts serve.Options) error {
 	labels, err := periodLabels(period)
 	if err != nil {
 		return err
 	}
-	svc := serve.NewService(serve.Options{
-		QueueSize:       queue,
-		PublishBatch:    batch,
-		NonBlocking:     drop,
-		MaxConcurrent:   maxInflight,
-		ValidatorLabels: labels,
-	})
+	opts.ValidatorLabels = labels
+	svc := serve.NewService(opts)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -331,13 +331,24 @@ func (v Value) RoundToPow10(p int) Value {
 	return out
 }
 
+// pow10f memoizes math.Pow(10, e) for every normalized exponent.
+// Float64 runs per payment on analysis hot paths (histogram bucketing,
+// currency totals); the table is built with math.Pow itself, so lookups
+// are bit-identical to the direct call.
+var pow10f = func() (t [MaxExponent - MinExponent + 1]float64) {
+	for i := range t {
+		t[i] = math.Pow(10, float64(MinExponent+i))
+	}
+	return
+}()
+
 // Float64 returns the closest float64 to v. Analysis code (survival
 // functions, histograms) uses this lossy view; ledger state never does.
 func (v Value) Float64() float64 {
 	if v.mantissa == 0 {
 		return 0
 	}
-	f := float64(v.mantissa) * math.Pow(10, float64(v.exponent))
+	f := float64(v.mantissa) * pow10f[int(v.exponent)-MinExponent]
 	if v.negative {
 		return -f
 	}

@@ -169,6 +169,55 @@ func (c *Collector) Page(p *ledger.Page) error {
 	return nil
 }
 
+// AddPayment folds one successful payment in from its projected fields
+// — the record-based entry point for consumers (the live serving
+// layer's ecosystem view) that project pages once at ingest instead of
+// handing the collector whole pages. pathHops is the per-path
+// intermediate hop count list from the transaction metadata. The
+// statistics it maintains are exactly the ones Collector.Page's payment
+// arm does, bit-identically: currency counts, amount histograms,
+// sender/receiver sets, and the multi-hop path-shape histograms.
+// (Transaction-level stats with no payment projection — fees, engine
+// result counts, intermediary appearances — are page-arm only.)
+func (c *Collector) AddPayment(sender, dest addr.AccountID, cur amount.Currency, v amount.Value, pathHops []uint8) {
+	c.payments++
+	c.byCurrency[cur]++
+	h := c.amounts[cur]
+	if h == nil {
+		h = &histogram{}
+		c.amounts[cur] = h
+	}
+	f := v.Float64()
+	h.add(f)
+	c.global.add(f)
+	c.senders[sender] = struct{}{}
+	c.receivers[dest] = struct{}{}
+	maxHops := 0
+	for _, hops := range pathHops {
+		if int(hops) > maxHops {
+			maxHops = int(hops)
+		}
+	}
+	if maxHops >= 1 {
+		c.multiHop++
+		c.parallelHist[len(pathHops)]++
+		for _, hops := range pathHops {
+			c.hopHist[int(hops)]++
+		}
+	}
+}
+
+// AddFailedPayments counts n failed payment transactions, matching the
+// page arm's failed branch.
+func (c *Collector) AddFailedPayments(n int) { c.failed += int64(n) }
+
+// AddOffer counts one successful OfferCreate by owner, matching the
+// page arm's offer branch.
+func (c *Collector) AddOffer(owner addr.AccountID) {
+	c.offersByOwner[owner]++
+	c.offersTotal++
+}
+
 // Merge folds another collector's accumulated statistics into c,
 // leaving other unusable. Every statistic the collector keeps is an
 // order-insensitive sum (counts, histograms) or union (account sets),
@@ -271,7 +320,12 @@ type SurvivalPoint struct {
 
 // Survival samples the survival function of the currency's payment
 // amounts at the given thresholds. The zero currency with global=true
-// gives the currency-unaware "Global" curve.
+// gives the currency-unaware "Global" curve. One suffix-sum pass over
+// the buckets serves every threshold, so a whole curve costs
+// O(buckets + thresholds) instead of O(buckets × thresholds) — the
+// live serving layer seals these curves on every ecosystem publish.
+// Each point is bit-identical to histogram.survival: the suffix sums
+// are the same integer additions, in the same order.
 func (c *Collector) Survival(cur amount.Currency, global bool, thresholds []float64) []SurvivalPoint {
 	h := &c.global
 	if !global {
@@ -280,11 +334,37 @@ func (c *Collector) Survival(cur amount.Currency, global bool, thresholds []floa
 			return nil
 		}
 	}
+	// suffix[i] counts payments in buckets strictly above i-1, i.e.
+	// suffix[idx+1] is histogram.survival's "above" sum for idx.
+	var suffix [numBuckets + 1]int64
+	for i := numBuckets - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + h.buckets[i]
+	}
 	out := make([]SurvivalPoint, 0, len(thresholds))
 	for _, x := range thresholds {
-		out = append(out, SurvivalPoint{Amount: x, Fraction: h.survival(x)})
+		out = append(out, SurvivalPoint{Amount: x, Fraction: h.survivalAt(x, &suffix)})
 	}
 	return out
+}
+
+// survivalAt is histogram.survival answered from a precomputed suffix
+// table.
+func (h *histogram) survivalAt(x float64, suffix *[numBuckets + 1]int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if x <= 0 {
+		return 1
+	}
+	d := math.Log10(x)
+	idx := int((d - minDecade) * bucketPerDecade)
+	if idx < 0 {
+		return 1
+	}
+	if idx >= numBuckets {
+		return 0
+	}
+	return float64(suffix[idx+1]) / float64(h.total)
 }
 
 // FeaturedCurrencies returns the currencies whose survival curves the

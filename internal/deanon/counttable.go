@@ -171,17 +171,21 @@ func (t *countTable) get(fp Fingerprint) uint8 {
 // serving layer's epoch snapshots. The copy is two slice memmoves, so a
 // snapshot costs O(capacity) with no rehashing.
 func (t *countTable) clone() *countTable {
-	c := &countTable{
-		keys:      make([]Fingerprint, len(t.keys)),
-		counts:    make([]uint8, len(t.counts)),
+	// make-then-copy (not make inside the literal) compiles to
+	// makeslicecopy, which skips zeroing memory the copy overwrites —
+	// clone is the dominant cost of every snapshot publish.
+	keys := make([]Fingerprint, len(t.keys))
+	copy(keys, t.keys)
+	counts := make([]uint8, len(t.counts))
+	copy(counts, t.counts)
+	return &countTable{
+		keys:      keys,
+		counts:    counts,
 		mask:      t.mask,
 		used:      t.used,
 		zeroCount: t.zeroCount,
 		uniques:   t.uniques,
 	}
-	copy(c.keys, t.keys)
-	copy(c.counts, t.counts)
-	return c
 }
 
 // grow doubles the table and reinserts every occupied slot.

@@ -71,6 +71,14 @@ type FeatureEnc struct {
 // EncodeFeatures precomputes f's fingerprint chunks at every level.
 func EncodeFeatures(f Features) FeatureEnc {
 	var e FeatureEnc
+	EncodeFeaturesTo(&e, &f)
+	return e
+}
+
+// EncodeFeaturesTo is EncodeFeatures writing into a caller-owned
+// FeatureEnc — hot projection loops use it to avoid copying the
+// ~130-byte struct through a return value once per payment.
+func EncodeFeaturesTo(e *FeatureEnc, f *Features) {
 	// One strength lookup covers all three Table I levels: Avg and Low
 	// round one and two decades coarser than Max by definition, so the
 	// per-level RoundAmount calls (three currency-strength map probes)
@@ -88,7 +96,6 @@ func EncodeFeatures(f Features) FeatureEnc {
 	copy(e.cur[1:], f.Currency[:])
 	e.dst[0] = 'D'
 	copy(e.dst[1:], f.Destination[:])
-	return e
 }
 
 // Fingerprint combines the precomputed chunks selected by res into the
@@ -126,9 +133,18 @@ func (e *FeatureEnc) Fingerprint(res Resolution) Fingerprint {
 //     one chain.
 type FingerprintPlan struct {
 	rows []planRow
-	// dstRows indexes the rows whose resolution selects the destination
-	// feature, in row order.
+	// curRows / dstRows index the rows whose resolution selects the
+	// currency / destination feature, in row order.
+	curRows []int32
 	dstRows []int32
+	// amtLevels lists the distinct nonzero amount levels the rows use;
+	// the amount stage folds each level's chunk exactly once,
+	// lane-interleaved. pairs lists the distinct (amount level, time
+	// level) prefixes, each continuing from its amount lane (-1 = amount
+	// off); rowPair maps every row to its prefix pair.
+	amtLevels []int8
+	pairs     []planPair
+	rowPair   []int32
 }
 
 type planRow struct {
@@ -137,15 +153,51 @@ type planRow struct {
 	cur bool
 }
 
+type planPair struct {
+	amtLane int8 // index into amtLevels, -1 = amount off
+	tim     int8 // TimeRes (0 = off)
+}
+
 // NewFingerprintPlan compiles a resolution list. The plan is immutable
 // and safe for concurrent use by any number of goroutines.
 func NewFingerprintPlan(resolutions []Resolution) *FingerprintPlan {
-	p := &FingerprintPlan{rows: make([]planRow, len(resolutions))}
+	p := &FingerprintPlan{
+		rows:    make([]planRow, len(resolutions)),
+		rowPair: make([]int32, len(resolutions)),
+	}
 	for i, r := range resolutions {
 		p.rows[i] = planRow{amt: int8(r.Amount), tim: int8(r.Time), cur: r.Currency}
+		if r.Currency {
+			p.curRows = append(p.curRows, int32(i))
+		}
 		if r.Destination {
 			p.dstRows = append(p.dstRows, int32(i))
 		}
+		lane := int8(-1)
+		if r.Amount != AmountOff {
+			lane = int8(len(p.amtLevels))
+			for j, lvl := range p.amtLevels {
+				if lvl == int8(r.Amount) {
+					lane = int8(j)
+					break
+				}
+			}
+			if lane == int8(len(p.amtLevels)) {
+				p.amtLevels = append(p.amtLevels, int8(r.Amount))
+			}
+		}
+		pair := planPair{amtLane: lane, tim: int8(r.Time)}
+		idx := int32(len(p.pairs))
+		for j, pr := range p.pairs {
+			if pr == pair {
+				idx = int32(j)
+				break
+			}
+		}
+		if idx == int32(len(p.pairs)) {
+			p.pairs = append(p.pairs, pair)
+		}
+		p.rowPair[i] = idx
 	}
 	return p
 }
@@ -161,36 +213,58 @@ const dstLanes = 16
 // returns the extended slice. Each appended value is bit-identical to
 // e.Fingerprint (and FingerprintOf) for the corresponding resolution —
 // the plan only reorders work, never the per-row byte sequence.
+//
+// Every stage is lane-interleaved: FNV-1a is a serial multiply chain, so
+// folding chunks row-by-row pays the full multiply latency per row,
+// while folding one byte position across many independent row states
+// pipelines the multiplies and costs close to a single chain.
 func (e *FeatureEnc) AppendFingerprints(p *FingerprintPlan, out []Fingerprint) []Fingerprint {
-	// Prefix stage: fold the amount and time chunks once per distinct
-	// (amt, tim) level pair, then branch per row for the 4-byte currency
-	// chunk. memo is indexed by the raw resolution levels (0 = off).
-	var memo [5][5]uint64
-	var have [5][5]bool
-	start := len(out)
-	for _, r := range p.rows {
-		h := memo[r.amt][r.tim]
-		if !have[r.amt][r.tim] {
-			h = fnvOffset64
-			if r.amt != 0 {
-				h = fnvBytes(h, e.amt[r.amt-1][:])
-			}
-			if r.tim != 0 {
-				h = fnvBytes(h, e.tim[r.tim-1][:])
-			}
-			memo[r.amt][r.tim] = h
-			have[r.amt][r.tim] = true
-		}
-		if r.cur {
-			h = fnvBytes(h, e.cur[:])
-		}
-		out = append(out, Fingerprint(h))
+	// Amount stage: fold each distinct amount chunk once, all levels in
+	// parallel lanes (Figure 3 uses at most 4).
+	var amtSt [4]uint64
+	nA := len(p.amtLevels)
+	for j := 0; j < nA; j++ {
+		amtSt[j] = fnvOffset64
 	}
-	// Destination stage: interleave the 21-byte fold across up to
-	// dstLanes independent row states so the multiply chains pipeline.
+	for b := 0; b < amtChunkLen; b++ {
+		for j := 0; j < nA; j++ {
+			amtSt[j] = (amtSt[j] ^ uint64(e.amt[p.amtLevels[j]-1][b])) * fnvPrime64
+		}
+	}
+	// Pair stage: continue each distinct (amount, time) prefix with its
+	// time chunk, interleaved across pairs (at most 25 exist).
+	var pairSt [25]uint64
+	for k, pr := range p.pairs {
+		if pr.amtLane >= 0 {
+			pairSt[k] = amtSt[pr.amtLane]
+		} else {
+			pairSt[k] = fnvOffset64
+		}
+	}
+	for b := 0; b < timeChunkLen; b++ {
+		for k, pr := range p.pairs {
+			if pr.tim != 0 {
+				pairSt[k] = (pairSt[k] ^ uint64(e.tim[pr.tim-1][b])) * fnvPrime64
+			}
+		}
+	}
+	start := len(out)
+	for i := range p.rows {
+		out = append(out, Fingerprint(pairSt[p.rowPair[i]]))
+	}
 	rows := out[start:]
-	for lo := 0; lo < len(p.dstRows); lo += dstLanes {
-		batch := p.dstRows[lo:]
+	// Currency and destination stages: fold the shared chunk across the
+	// selecting rows' states, up to dstLanes at a time.
+	foldLanes(rows, p.curRows, e.cur[:])
+	foldLanes(rows, p.dstRows, e.dst[:])
+	return out
+}
+
+// foldLanes folds chunk into rows[idx] for every idx in sel,
+// interleaving up to dstLanes independent FNV states.
+func foldLanes(rows []Fingerprint, sel []int32, chunk []byte) {
+	for lo := 0; lo < len(sel); lo += dstLanes {
+		batch := sel[lo:]
 		if len(batch) > dstLanes {
 			batch = batch[:dstLanes]
 		}
@@ -199,7 +273,7 @@ func (e *FeatureEnc) AppendFingerprints(p *FingerprintPlan, out []Fingerprint) [
 		for j, ri := range batch {
 			st[j] = uint64(rows[ri])
 		}
-		for _, c := range e.dst {
+		for _, c := range chunk {
 			x := uint64(c)
 			for j := 0; j < n; j++ {
 				st[j] = (st[j] ^ x) * fnvPrime64
@@ -209,5 +283,4 @@ func (e *FeatureEnc) AppendFingerprints(p *FingerprintPlan, out []Fingerprint) [
 			rows[ri] = Fingerprint(st[j])
 		}
 	}
-	return out
 }

@@ -177,6 +177,69 @@ func (v *TxView) DecodeMeta() (*TxMeta, error) {
 	return m, err
 }
 
+// TxIter walks a page encoding in place, one transaction at a time,
+// with the same framing validation as VisitTxs. Unlike VisitTxs it is
+// allocation-free: the header and the reused view live inside the
+// caller-owned iterator, so a projection loop whose views never escape
+// keeps the whole walk on its stack. The view returned by Next aliases
+// both the iterator and the payload and is valid only until the next
+// Next call.
+type TxIter struct {
+	// Hdr is the decoded page header, valid after Init.
+	Hdr PageHeader
+
+	v       TxView
+	payload []byte
+	off     int
+	n       int
+	i       int
+}
+
+// Init validates the header and positions the iterator before the
+// first transaction.
+func (it *TxIter) Init(payload []byte) error {
+	hdr, off, err := DecodeHeader(payload)
+	if err != nil {
+		return err
+	}
+	if len(payload) < off+4 {
+		return ErrTruncated
+	}
+	it.Hdr = hdr
+	it.n = int(binary.BigEndian.Uint32(payload[off:]))
+	it.off = off + 4
+	it.payload = payload
+	it.i = 0
+	return nil
+}
+
+// Next advances to the next transaction. It returns (nil, nil) after
+// the last one.
+func (it *TxIter) Next() (*TxView, error) {
+	if it.i >= it.n {
+		return nil, nil
+	}
+	txLen, err := skipTx(it.payload[it.off:])
+	if err != nil {
+		return nil, fmt.Errorf("ledger: page %d, tx %d: %w", it.Hdr.Sequence, it.i, err)
+	}
+	it.v.Tx = it.payload[it.off : it.off+txLen]
+	it.off += txLen
+	metaLen, err := skipMeta(it.payload[it.off:])
+	if err != nil {
+		return nil, fmt.Errorf("ledger: page %d, meta %d: %w", it.Hdr.Sequence, it.i, err)
+	}
+	it.v.Meta = it.payload[it.off : it.off+metaLen]
+	it.off += metaLen
+	it.v.Index = it.i
+	it.i++
+	return &it.v, nil
+}
+
+// Used reports the payload bytes consumed so far; after a complete walk
+// it is the page encoding's length.
+func (it *TxIter) Used() int { return it.off }
+
 // VisitTxs walks a page encoding in place, calling fn once per
 // transaction with a reused zero-copy view, and returns the bytes
 // consumed. The walk validates record framing (lengths, codec version)
@@ -184,35 +247,22 @@ func (v *TxView) DecodeMeta() (*TxMeta, error) {
 // walkable, and the per-field accessors apply DecodePage's validation
 // on the fields they touch. fn errors abort the walk and propagate.
 func VisitTxs(payload []byte, fn func(hdr *PageHeader, v *TxView) error) (int, error) {
-	hdr, off, err := DecodeHeader(payload)
-	if err != nil {
+	var it TxIter
+	if err := it.Init(payload); err != nil {
 		return 0, err
 	}
-	if len(payload) < off+4 {
-		return 0, ErrTruncated
-	}
-	n := int(binary.BigEndian.Uint32(payload[off:]))
-	off += 4
-	var v TxView
-	for i := 0; i < n; i++ {
-		txLen, err := skipTx(payload[off:])
+	for {
+		v, err := it.Next()
 		if err != nil {
-			return 0, fmt.Errorf("ledger: page %d, tx %d: %w", hdr.Sequence, i, err)
+			return 0, err
 		}
-		v.Tx = payload[off : off+txLen]
-		off += txLen
-		metaLen, err := skipMeta(payload[off:])
-		if err != nil {
-			return 0, fmt.Errorf("ledger: page %d, meta %d: %w", hdr.Sequence, i, err)
+		if v == nil {
+			return it.Used(), nil
 		}
-		v.Meta = payload[off : off+metaLen]
-		off += metaLen
-		v.Index = i
-		if err := fn(&hdr, &v); err != nil {
-			return off, err
+		if err := fn(&it.Hdr, v); err != nil {
+			return it.Used(), err
 		}
 	}
-	return off, nil
 }
 
 // PaymentView is the field projection the de-anonymization and

@@ -137,6 +137,33 @@ func (s *Store) PagesParallelArena(ctx context.Context, workers int, fn func(wor
 // refresh cadence) reuse warmed slabs.
 var arenaPool = sync.Pool{New: func() any { return new(ledger.PageArena) }}
 
+// PayloadsParallel streams every CRC-verified record payload (one
+// canonical page encoding each) to fn on up to `workers` goroutines,
+// without decoding anything — the rawest scan surface, for consumers
+// that project the fields they need straight out of the encoding
+// (ledger.VisitTxs / ledger.ScanPayments) and own the result.
+//
+// The payload aliases the segment's (possibly memory-mapped) bytes and
+// is valid only inside fn; retain copies, not the slice. Ordering and
+// error semantics match PagesParallel: per-segment append order,
+// arbitrary interleaving across segments, first error (fn's, a
+// corrupted record, or ctx cancellation) stops all workers.
+func (s *Store) PayloadsParallel(ctx context.Context, workers int, fn func(worker int, payload []byte) error) error {
+	return s.forEachSegmentParallel(ctx, workers, func(ctx context.Context, w int, seg string) error {
+		n := 0
+		return forEachRecord(seg, func(payload []byte) error {
+			// Poll cancellation every few records; the callback itself
+			// is typically well under a microsecond.
+			if n++; n&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			return fn(w, payload)
+		})
+	})
+}
+
 // ScanPayments streams every successful payment in the store through
 // the zero-copy projection (ledger.ScanPayments) on up to `workers`
 // goroutines — the fastest way to feed payment-only consumers like the

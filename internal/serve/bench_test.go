@@ -1,11 +1,17 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"ripplestudy/internal/deanon"
 	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/ledgerstore"
 )
 
 // benchService returns a warm service with a small history ingested,
@@ -79,19 +85,91 @@ func BenchmarkServeHTTPValidators(b *testing.B) {
 	}
 }
 
-// BenchmarkServeSnapshotPublish measures one copy-on-publish seal of the
-// fingerprint view — the cost amortized across PublishBatch updates.
-func BenchmarkServeSnapshotPublish(b *testing.B) {
-	pages := genPages(b, 3000, 37)
-	st := newFingerprintState()
+// BenchmarkServeIngestThroughput measures end-to-end backfill speed —
+// store → raw payload scan → projection → batched fan-out → sealed
+// snapshots — and reports payments/s, the number the ROADMAP's
+// line-rate streaming item tracks.
+func BenchmarkServeIngestThroughput(b *testing.B) {
+	pages := genPages(b, 20000, 37)
+	payments := 0
 	for _, p := range pages {
-		st.apply(p)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if snap := st.snapshot(uint64(i), 1); snap == nil {
-			b.Fatal("nil snapshot")
+		for i := range p.Txs {
+			if p.Txs[i].Type == ledger.TxPayment && p.Metas[i].Result.Succeeded() {
+				payments++
+			}
 		}
 	}
+	dir := filepath.Join(b.TempDir(), "store")
+	st, err := ledgerstore.Create(dir, ledgerstore.WithSegmentBytes(1<<22))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pages {
+		if err := st.Append(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if st, err = ledgerstore.Open(dir); err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				s := NewService(Options{})
+				if err := s.BackfillStore(context.Background(), st, workers); err != nil {
+					b.Fatal(err)
+				}
+				drain(b, s)
+				if got := s.Fingerprints().Payments; got != payments {
+					b.Fatalf("ingested %d payments, want %d", got, payments)
+				}
+				s.Close()
+			}
+			elapsed := time.Since(start).Seconds()
+			b.ReportMetric(float64(payments*b.N)/elapsed, "payments/s")
+			b.ReportMetric(float64(len(pages)*b.N)/elapsed, "pages/s")
+		})
+	}
+}
+
+// BenchmarkServeSnapshotPublish measures one copy-on-publish seal of the
+// fingerprint view — the cost amortized across PublishBatch updates.
+// "dirty" re-observes a page before each seal (every changed shard is
+// deep-copied); "clean" seals an unchanged study (clones shared, no
+// copying) — the inbox-dry republish fast path.
+func BenchmarkServeSnapshotPublish(b *testing.B) {
+	pages := genPages(b, 3000, 37)
+	st := newFingerprintState(1)
+	defer st.close()
+	proj := newProjector(st.plan())
+	recs := make([]*pageRecord, len(pages))
+	for i, p := range pages {
+		recs[i] = new(pageRecord)
+		proj.fromPage(p, recs[i])
+		st.apply(recs[i])
+	}
+	b.Run("dirty", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st.apply(recs[i%len(recs)])
+			if snap := st.snapshot(uint64(i), 1); snap == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
+	b.Run("clean", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if snap := st.snapshot(uint64(i), 1); snap == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
 }

@@ -171,7 +171,7 @@ func TestDropModeCountsAndDegrades(t *testing.T) {
 	w := newViewWorker("test", 1, 1, false, func(update) {
 		once.Do(func() { close(first) })
 		<-release
-	}, func(uint64) {})
+	}, func(uint64) {}, nil, nil)
 	w.offer(update{}) // worker picks this up and blocks in apply
 	<-first
 	w.offer(update{}) // fills the 1-slot inbox

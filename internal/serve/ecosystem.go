@@ -3,13 +3,15 @@ package serve
 import (
 	"ripplestudy/internal/amount"
 	"ripplestudy/internal/analysis"
-	"ripplestudy/internal/ledger"
 )
 
 // ecosystemState is the mutable Figures 4–6 view. analysis.Collector is
 // already a streaming accumulator, so the incremental maintenance IS
 // the batch computation — the view work is sealing its derived
-// statistics into immutable snapshots per epoch.
+// statistics into immutable snapshots per epoch. The view consumes
+// projected records (project.go), not pages: the collector's record
+// entry points fold in exactly the statistics the snapshot surfaces,
+// bit-identical to Collector.Page over the originals.
 type ecosystemState struct {
 	col   *analysis.Collector
 	pages uint64
@@ -19,9 +21,17 @@ func newEcosystemState() *ecosystemState {
 	return &ecosystemState{col: analysis.NewCollector()}
 }
 
-func (e *ecosystemState) apply(p *ledger.Page) {
+func (e *ecosystemState) apply(rec *pageRecord) {
 	e.pages++
-	_ = e.col.Page(p) // Collector.Page never fails
+	e.col.AddFailedPayments(rec.failed)
+	for _, owner := range rec.offerOwners {
+		e.col.AddOffer(owner)
+	}
+	for i := range rec.payments {
+		p := &rec.payments[i]
+		e.col.AddPayment(p.sender, p.dest, p.currency, p.value,
+			rec.hops[p.hopsOff:p.hopsOff+p.hopsLen])
+	}
 }
 
 // snapshot seals the derived histograms. Every accessor used here

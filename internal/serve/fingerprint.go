@@ -2,44 +2,90 @@ package serve
 
 import (
 	"ripplestudy/internal/deanon"
-	"ripplestudy/internal/ledger"
 )
 
 // fingerprintState is the mutable Figure 3 / Table I view: the
 // fingerprint count tables for the paper's ten resolution tuples,
-// maintained incrementally by a deanon.IncStudy so both the
-// information-gain rows and individual sender-uniqueness lookups are
-// O(1) at any point of the stream.
+// maintained incrementally by a deanon.ShardedIncStudy — K single-writer
+// count shards routed by fingerprint high bits — so both the
+// information-gain rows and individual sender-uniqueness lookups stay
+// O(1) at any point of the stream while increments scale with cores.
+//
+// The fingerprints themselves are computed upstream, once per payment,
+// by the projection front door (project.go) through the study's shared
+// plan; apply only routes them. Sealing is epoch-consistent
+// scatter-gather: the study flushes and barriers every shard that
+// changed, then clones only those shards' tables, so Lookup and the
+// Figure 3 rows are bit-identical to a single-writer (1-shard) pass
+// over the same pages.
 type fingerprintState struct {
-	study *deanon.IncStudy
+	study *deanon.ShardedIncStudy
+	rows  int
+	// lastSealPayments is the study size the previous seal covered;
+	// sealDue compares against it. Worker-goroutine only.
+	lastSealPayments int
 }
 
-func newFingerprintState() *fingerprintState {
-	return &fingerprintState{study: deanon.NewIncStudy(deanon.Figure3Rows)}
-}
-
-// apply folds one sealed page's successful payments in.
-func (f *fingerprintState) apply(p *ledger.Page) {
-	for i := range p.Txs {
-		if feat, ok := deanon.FromTransaction(p, p.Txs[i], p.Metas[i]); ok {
-			f.study.Observe(feat)
+// newFingerprintState builds the view with the requested shard count
+// (rounded up to a power of two; <= 0 picks the machine default).
+func newFingerprintState(shards int) *fingerprintState {
+	bits := deanon.DefaultShardBits()
+	if shards > 0 {
+		bits = 0
+		for 1<<bits < shards {
+			bits++
 		}
+	}
+	study := deanon.NewShardedIncStudy(deanon.Figure3Rows, bits)
+	return &fingerprintState{study: study, rows: len(deanon.Figure3Rows)}
+}
+
+// plan exposes the study's compiled fingerprint plan for the projection
+// front door.
+func (f *fingerprintState) plan() *deanon.FingerprintPlan { return f.study.Plan() }
+
+// shards reports the count-shard fan-out, for metrics.
+func (f *fingerprintState) shards() int { return f.study.Shards() }
+
+// apply folds one projected page in: the record's fingerprint slab
+// holds rows fingerprints per payment, already in the study's row
+// order.
+func (f *fingerprintState) apply(rec *pageRecord) {
+	for off := 0; off < len(rec.fps); off += f.rows {
+		f.study.ObserveFingerprints(rec.fps[off : off+f.rows])
 	}
 }
 
-// snapshot seals the study as an immutable FingerprintSnapshot. The
-// count tables are deep-copied (copy-on-publish): two slice copies per
-// resolution, no rehashing. Amortized across PublishBatch pages under
-// load.
+// sealDue is the view's batch-boundary publish-cost gate: a seal clones
+// every dirty count shard, which under uniform fingerprint traffic is
+// the entire table — O(distinct fingerprints), not O(batch). Requiring
+// the study to double since the previous seal spaces publishes
+// geometrically, so total copy-on-publish traffic stays linear in
+// ingest (≤2× the final table) while a firehose backfill still surfaces
+// mid-stream epochs. Inbox-dry seals bypass this gate, so any pause in
+// the stream — including every Drain — still publishes immediately and
+// idle epochs stay fresh.
+func (f *fingerprintState) sealDue() bool {
+	return f.study.Payments() >= 2*f.lastSealPayments
+}
+
+// snapshot seals the study as an immutable FingerprintSnapshot.
+// Copy-on-publish touches only the shards that changed since the last
+// seal; unchanged shards share their previous clones.
 func (f *fingerprintState) snapshot(epoch, appliedSeq uint64) *FingerprintSnapshot {
+	snap := f.study.Seal()
+	f.lastSealPayments = snap.Payments()
 	return &FingerprintSnapshot{
 		Epoch:      epoch,
 		AppliedSeq: appliedSeq,
-		Payments:   f.study.Payments(),
-		Rows:       f.study.Results(),
-		study:      f.study.Clone(),
+		Payments:   snap.Payments(),
+		Rows:       snap.Results(),
+		study:      snap,
 	}
 }
+
+// close stops the study's shard workers. Snapshots stay valid.
+func (f *fingerprintState) close() { f.study.Close() }
 
 // FingerprintSnapshot is one sealed epoch of the de-anonymization view.
 type FingerprintSnapshot struct {
@@ -52,8 +98,8 @@ type FingerprintSnapshot struct {
 	// Rows holds the Figure 3 information-gain rows.
 	Rows []deanon.RowResult `json:"rows"`
 
-	// study is the sealed clone answering lookups; read-only.
-	study *deanon.IncStudy
+	// study is the sealed shard snapshot answering lookups; read-only.
+	study *deanon.IncSnapshot
 }
 
 // Lookup reports how many payments in this snapshot share the

@@ -121,6 +121,14 @@ func (s *Service) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "serve_ingested_events_total %d\n", h.IngestedEvents)
 	fmt.Fprintf(w, "# HELP serve_ingested_pages_total Sealed ledger pages ingested (stream + backfill).\n")
 	fmt.Fprintf(w, "serve_ingested_pages_total %d\n", h.IngestedPages)
+	fmt.Fprintf(w, "# HELP serve_ingested_payments_total Successful payments projected at ingest; rate() gives live payments/s throughput.\n")
+	fmt.Fprintf(w, "serve_ingested_payments_total %d\n", h.IngestedPayments)
+	fmt.Fprintf(w, "# HELP serve_ingest_batches_total Update batches fanned out to the page views.\n")
+	fmt.Fprintf(w, "serve_ingest_batches_total %d\n", s.ingestBatches.Load())
+	fmt.Fprintf(w, "# HELP serve_ingest_batch_pages_total Pages carried by those batches; divide by serve_ingest_batches_total for the mean batch size.\n")
+	fmt.Fprintf(w, "serve_ingest_batch_pages_total %d\n", s.ingestBatchPages.Load())
+	fmt.Fprintf(w, "# HELP serve_fingerprint_shards Single-writer count shards behind the fingerprint view.\n")
+	fmt.Fprintf(w, "serve_fingerprint_shards %d\n", s.fpState.shards())
 	fmt.Fprintf(w, "# HELP serve_dropped_events_total Events lost: undecodable page payloads plus view-queue overflow drops.\n")
 	fmt.Fprintf(w, "serve_dropped_events_total %d\n", h.DroppedEvents)
 	fmt.Fprintf(w, "# HELP serve_stream_last_seq Highest stream sequence seen from the network.\n")
@@ -147,6 +155,14 @@ func (s *Service) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP serve_view_dropped_events_total Updates dropped at the view inbox (non-blocking mode).\n")
 	for _, v := range h.Views {
 		fmt.Fprintf(w, "serve_view_dropped_events_total{view=%q} %d\n", v.Name, v.Dropped)
+	}
+	fmt.Fprintf(w, "# HELP serve_view_seals_total Snapshot publishes per view.\n")
+	for _, vw := range s.views {
+		fmt.Fprintf(w, "serve_view_seals_total{view=%q} %d\n", vw.name, vw.seals.Load())
+	}
+	fmt.Fprintf(w, "# HELP serve_view_last_seal_seconds Duration of each view's most recent snapshot publish (the fingerprint view's is the shard scatter-gather seal).\n")
+	for _, vw := range s.views {
+		fmt.Fprintf(w, "serve_view_last_seal_seconds{view=%q} %.6f\n", vw.name, time.Duration(vw.sealNanos.Load()).Seconds())
 	}
 
 	fmt.Fprintf(w, "# HELP serve_http_inflight In-flight HTTP requests.\n")

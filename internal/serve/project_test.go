@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ripplestudy/internal/deanon"
+)
+
+// TestProjectPayloadMatchesPage pins the in-place payload projection
+// (ledger.TxIter, no *ledger.Page materialized) to the decoded-page
+// projection: for every synthetic page the two must produce identical
+// records — payments, hops, fingerprints, offer owners, failure counts.
+func TestProjectPayloadMatchesPage(t *testing.T) {
+	pages := genPages(t, 1500, 17)
+	plan := deanon.NewFingerprintPlan(deanon.Figure3Rows)
+	pr := newProjector(plan)
+
+	var buf []byte
+	sawFailed, sawOffers := false, false
+	for _, p := range pages {
+		fromPage := new(pageRecord)
+		pr.fromPage(p, fromPage)
+
+		buf = p.Encode(buf[:0])
+		fromPayload := new(pageRecord)
+		if err := pr.fromPayload(buf, fromPayload); err != nil {
+			t.Fatalf("page %d: fromPayload: %v", p.Header.Sequence, err)
+		}
+
+		if fromPage.seq != fromPayload.seq || fromPage.time != fromPayload.time {
+			t.Fatalf("page %d: header fields diverge", p.Header.Sequence)
+		}
+		if !reflect.DeepEqual(fromPage.payments, fromPayload.payments) {
+			t.Fatalf("page %d: payment slabs diverge", p.Header.Sequence)
+		}
+		if !reflect.DeepEqual(fromPage.hops, fromPayload.hops) {
+			t.Fatalf("page %d: hop slabs diverge", p.Header.Sequence)
+		}
+		if !reflect.DeepEqual(fromPage.fps, fromPayload.fps) {
+			t.Fatalf("page %d: fingerprint slabs diverge", p.Header.Sequence)
+		}
+		if !reflect.DeepEqual(fromPage.offerOwners, fromPayload.offerOwners) {
+			t.Fatalf("page %d: offer owners diverge", p.Header.Sequence)
+		}
+		if fromPage.failed != fromPayload.failed {
+			t.Fatalf("page %d: failed counts diverge: %d != %d", p.Header.Sequence, fromPage.failed, fromPayload.failed)
+		}
+		sawFailed = sawFailed || fromPage.failed > 0
+		sawOffers = sawOffers || len(fromPage.offerOwners) > 0
+	}
+	// The differential is vacuous if the synth history never exercises
+	// the non-payment branches.
+	if !sawFailed {
+		t.Error("no page with failed payments in the test history")
+	}
+	if !sawOffers {
+		t.Error("no page with successful offers in the test history")
+	}
+}
+
+// TestProjectPayloadRejectsMalformed checks the payload walk validates
+// framing like the full decoder: garbage and trailing bytes must error,
+// not silently project.
+func TestProjectPayloadRejectsMalformed(t *testing.T) {
+	pages := genPages(t, 50, 19)
+	plan := deanon.NewFingerprintPlan(deanon.Figure3Rows)
+	pr := newProjector(plan)
+	buf := pages[0].Encode(nil)
+
+	if err := pr.fromPayload([]byte{0xde, 0xad}, new(pageRecord)); err == nil {
+		t.Error("garbage payload projected without error")
+	}
+	if err := pr.fromPayload(buf[:len(buf)-1], new(pageRecord)); err == nil {
+		t.Error("truncated payload projected without error")
+	}
+	trailing := append(append([]byte(nil), buf...), 0x00)
+	err := pr.fromPayload(trailing, new(pageRecord))
+	if err == nil {
+		t.Fatal("payload with trailing bytes projected without error")
+	}
+	if !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing-byte error = %q, want mention of trailing bytes", err)
+	}
+}

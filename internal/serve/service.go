@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,15 +17,32 @@ import (
 	"ripplestudy/internal/replay"
 )
 
+// defaultWorkers is the parallel-backfill default worker count.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// defaultIngestBatch is the default flush size for the batched ingest
+// paths (backfill, IngestPages) and the capacity hint for pooled
+// update batches.
+const defaultIngestBatch = 64
+
 // Options tunes a Service. The zero value picks defaults suitable for
 // tests and laptop-scale serving.
 type Options struct {
-	// QueueSize bounds each view's inbox (default 1024).
+	// QueueSize bounds each view's inbox, in batches (default 1024).
 	QueueSize int
 	// PublishBatch is the most updates a view applies between epoch
-	// publishes; a view also publishes whenever its inbox runs dry
-	// (default 64).
+	// publishes; a view also publishes whenever its inbox runs dry, and
+	// never in the middle of an ingest batch (default 256).
 	PublishBatch int
+	// IngestBatchPages is how many projected pages the batched ingest
+	// paths (Backfill, BackfillStore, IngestPages) accumulate before
+	// flushing one batch to the view inboxes (default 64).
+	IngestBatchPages int
+	// FingerprintShards is the number of single-writer count shards
+	// behind the fingerprint view, rounded up to a power of two;
+	// 1 pins the sequential single-writer baseline. Default: the
+	// smallest power of two covering GOMAXPROCS.
+	FingerprintShards int
 	// NonBlocking switches ingest fan-out from backpressure (lossless;
 	// the differential-test configuration) to drop-on-full
 	// (load-shedding, counted per view and in DroppedEvents).
@@ -47,7 +65,10 @@ func (o Options) withDefaults() Options {
 		o.QueueSize = 1024
 	}
 	if o.PublishBatch <= 0 {
-		o.PublishBatch = 64
+		o.PublishBatch = 256
+	}
+	if o.IngestBatchPages <= 0 {
+		o.IngestBatchPages = defaultIngestBatch
 	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = 64
@@ -65,11 +86,14 @@ func (o Options) withDefaults() Options {
 var ErrClosed = errors.New("serve: service closed")
 
 // Service is the live query-serving layer: one ingestion front door
-// fanning out to single-writer materialized views, plus the query
-// surface (snapshot accessors and the HTTP API in http.go).
+// projecting pages into owned records and fanning them out in batches
+// to single-writer materialized views, plus the query surface (snapshot
+// accessors and the HTTP API in http.go).
 type Service struct {
 	opts    Options
 	metrics *metricsSet
+	proj    *projector
+	fpState *fingerprintState
 
 	tallyW *viewWorker
 	fpW    *viewWorker
@@ -80,15 +104,23 @@ type Service struct {
 	fpSnap    atomic.Pointer[FingerprintSnapshot]
 	ecoSnap   atomic.Pointer[EcosystemSnapshot]
 
-	ingestedEvents atomic.Uint64
-	ingestedPages  atomic.Uint64
-	undecodable    atomic.Uint64
-	streamLastSeq  atomic.Uint64
-	lastIngestNano atomic.Int64
+	ingestedEvents   atomic.Uint64
+	ingestedPages    atomic.Uint64
+	ingestedPayments atomic.Uint64
+	ingestBatches    atomic.Uint64
+	ingestBatchPages atomic.Uint64
+	undecodable      atomic.Uint64
+	streamLastSeq    atomic.Uint64
+	lastIngestNano   atomic.Int64
 
 	inflight atomic.Int64
 	rejected atomic.Uint64
 	admit    chan struct{}
+
+	// progressCh is closed and replaced on every view seal or drop; the
+	// Drain waiters re-arm on it instead of sleep-polling.
+	progressMu sync.Mutex
+	progressCh chan struct{}
 
 	mu     sync.RWMutex // guards closed against in-flight ingests
 	closed bool
@@ -98,25 +130,41 @@ type Service struct {
 func NewService(opts Options) *Service {
 	opts = opts.withDefaults()
 	s := &Service{
-		opts:    opts,
-		metrics: newMetricsSet(opts.LatencyWindow),
-		admit:   make(chan struct{}, opts.MaxConcurrent),
+		opts:       opts,
+		metrics:    newMetricsSet(opts.LatencyWindow),
+		admit:      make(chan struct{}, opts.MaxConcurrent),
+		progressCh: make(chan struct{}),
 	}
 
 	tally := newTallyState(opts.ValidatorLabels)
 	s.tallyW = newViewWorker("fig2_tally", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
-		func(u update) { tally.apply(u.ev) },
-		func(epoch uint64) { s.tallySnap.Store(tally.snapshot(epoch, seqOf(s.tallyW))) })
+		func(u update) { tally.apply(*u.ev) },
+		func(epoch uint64) { s.tallySnap.Store(tally.snapshot(epoch, seqOf(s.tallyW))) },
+		s.notifyProgress, nil)
 
-	fp := newFingerprintState()
+	fp := newFingerprintState(opts.FingerprintShards)
+	s.fpState = fp
+	s.proj = newProjector(fp.plan())
 	s.fpW = newViewWorker("fig3_fingerprints", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
-		func(u update) { fp.apply(u.page) },
-		func(epoch uint64) { s.fpSnap.Store(fp.snapshot(epoch, seqOf(s.fpW))) })
+		func(u update) {
+			if u.rec != nil {
+				fp.apply(u.rec)
+				u.rec.unref()
+			}
+		},
+		func(epoch uint64) { s.fpSnap.Store(fp.snapshot(epoch, seqOf(s.fpW))) },
+		s.notifyProgress, fp.sealDue)
 
 	eco := newEcosystemState()
 	s.ecoW = newViewWorker("fig4to6_ecosystem", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
-		func(u update) { eco.apply(u.page) },
-		func(epoch uint64) { s.ecoSnap.Store(eco.snapshot(epoch, seqOf(s.ecoW))) })
+		func(u update) {
+			if u.rec != nil {
+				eco.apply(u.rec)
+				u.rec.unref()
+			}
+		},
+		func(epoch uint64) { s.ecoSnap.Store(eco.snapshot(epoch, seqOf(s.ecoW))) },
+		s.notifyProgress, nil)
 
 	s.views = []*viewWorker{s.tallyW, s.fpW, s.ecoW}
 	return s
@@ -131,11 +179,17 @@ func seqOf(w *viewWorker) uint64 {
 	return w.appliedSeq.Load()
 }
 
+// pageViews is the number of views every page record fans out to (the
+// fingerprint and ecosystem views); it is the record's initial
+// refcount.
+const pageViews = 2
+
 // IngestEvent folds one validation-stream event into the views: every
 // well-formed event feeds the Figure 2 tally, and ledger-close events
-// carrying a page payload feed the page views. An undecodable page
-// payload is quarantined (counted in DroppedEvents) without losing the
-// close event itself.
+// carrying a page payload feed the page views. The payload is projected
+// in place (never materialized as a *ledger.Page); an undecodable one
+// is quarantined (counted in DroppedEvents) without losing the close
+// event itself.
 func (s *Service) IngestEvent(ev consensus.Event) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -145,78 +199,213 @@ func (s *Service) IngestEvent(ev consensus.Event) error {
 	s.noteIngest(ev.StreamSeq)
 	s.ingestedEvents.Add(1)
 
-	var page *ledger.Page
+	var rec *pageRecord
 	if ev.Kind == consensus.EventLedgerClosed && len(ev.PageData) > 0 {
-		p, err := ev.Page()
-		if err != nil {
+		rec = newPageRecord(pageViews)
+		if err := s.proj.fromPayload(ev.PageData, rec); err != nil {
 			s.undecodable.Add(1)
-		} else {
-			page = p
+			rec.unrefN(pageViews)
+			rec = nil
 		}
 	}
-	u := update{ev: ev, page: page}
-	s.tallyW.offer(u)
-	if page != nil {
+	seq := ev.Seq
+	if rec != nil {
+		seq = rec.seq
+	}
+	s.tallyW.offer(update{ev: &ev, seq: seq, streamSeq: ev.StreamSeq})
+	if rec != nil {
 		s.ingestedPages.Add(1)
+		s.ingestedPayments.Add(uint64(len(rec.payments)))
+		u := update{rec: rec, seq: rec.seq, streamSeq: ev.StreamSeq}
 		s.fpW.offer(u)
 		s.ecoW.offer(u)
 	}
 	return nil
 }
 
-// IngestPage folds one sealed page into the page views — the backfill
-// path (no validation events, so the Figure 2 view is untouched).
+// IngestPage folds one sealed page into the page views — the
+// single-page backfill path (no validation events, so the Figure 2
+// view is untouched). Bulk loads should prefer IngestPages or
+// BackfillStore, which amortize the queue operations.
 func (s *Service) IngestPage(p *ledger.Page) error {
+	rec := newPageRecord(pageViews)
+	s.proj.fromPage(p, rec)
+	b := getUpdateBatch()
+	b = append(b, update{rec: rec, seq: rec.seq})
+	return s.ingestPageBatch(b, len(rec.payments))
+}
+
+// IngestPages folds a batch of sealed pages into the page views with
+// one queue operation per view per IngestBatchPages pages.
+func (s *Service) IngestPages(pages []*ledger.Page) error {
+	b := s.newBatcher()
+	for _, p := range pages {
+		rec := newPageRecord(pageViews)
+		s.proj.fromPage(p, rec)
+		if err := b.add(rec); err != nil {
+			return err
+		}
+	}
+	return b.flush()
+}
+
+// ingestPageBatch is the shared back half of every page ingest path:
+// bookkeeping once per batch, then fan-out of the batch to both page
+// views. It takes ownership of b (and one of each record's refs per
+// view).
+func (s *Service) ingestPageBatch(b []update, payments int) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
+		for i := range b {
+			b[i].rec.unrefN(pageViews)
+		}
+		putUpdateBatch(b)
 		return ErrClosed
 	}
 	s.noteIngest(0)
-	s.ingestedPages.Add(1)
-	u := update{page: p}
-	s.fpW.offer(u)
-	s.ecoW.offer(u)
+	s.ingestedPages.Add(uint64(len(b)))
+	s.ingestedPayments.Add(uint64(payments))
+	s.ingestBatches.Add(1)
+	s.ingestBatchPages.Add(uint64(len(b)))
+
+	// Each view consumes (and recycles) its own batch slice; the
+	// updates inside share the records via the refcount.
+	fpB := getUpdateBatch()
+	fpB = append(fpB, b...)
+	if !s.fpW.offerBatch(fpB) {
+		for i := range fpB {
+			fpB[i].rec.unref()
+		}
+		putUpdateBatch(fpB)
+	}
+	if !s.ecoW.offerBatch(b) {
+		for i := range b {
+			b[i].rec.unref()
+		}
+		putUpdateBatch(b)
+	}
 	return nil
 }
 
+// noteIngest stamps the ingest clock and advances the stream high-water
+// mark. It runs once per ingest call or batch — not once per page — so
+// the time.Now and CAS costs amortize over the batch.
 func (s *Service) noteIngest(streamSeq uint64) {
 	s.lastIngestNano.Store(time.Now().UnixNano())
-	if streamSeq > 0 {
-		for {
-			cur := s.streamLastSeq.Load()
-			if streamSeq <= cur || s.streamLastSeq.CompareAndSwap(cur, streamSeq) {
-				return
-			}
+	if streamSeq == 0 {
+		return
+	}
+	// CAS only when actually advancing; concurrent backfills and
+	// streams mostly observe an already-higher watermark.
+	for cur := s.streamLastSeq.Load(); streamSeq > cur; cur = s.streamLastSeq.Load() {
+		if s.streamLastSeq.CompareAndSwap(cur, streamSeq) {
+			return
 		}
 	}
 }
 
-// Backfill streams a closed history into the page views, in order.
+// recBatcher accumulates projected records and flushes them through
+// ingestPageBatch every IngestBatchPages pages. Not safe for concurrent
+// use; parallel backfills keep one per worker.
+type recBatcher struct {
+	s        *Service
+	buf      []update
+	payments int
+	limit    int
+}
+
+func (s *Service) newBatcher() *recBatcher {
+	return &recBatcher{s: s, buf: getUpdateBatch(), limit: s.opts.IngestBatchPages}
+}
+
+func (b *recBatcher) add(rec *pageRecord) error {
+	b.buf = append(b.buf, update{rec: rec, seq: rec.seq})
+	b.payments += len(rec.payments)
+	if len(b.buf) >= b.limit {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *recBatcher) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	buf, n := b.buf, b.payments
+	b.buf, b.payments = getUpdateBatch(), 0
+	return b.s.ingestPageBatch(buf, n)
+}
+
+// discard releases anything still buffered (abandoned backfill).
+func (b *recBatcher) discard() {
+	for i := range b.buf {
+		b.buf[i].rec.unrefN(pageViews)
+	}
+	putUpdateBatch(b.buf)
+	b.buf, b.payments = nil, 0
+}
+
+// Backfill streams a closed history into the page views, in order,
+// batching the fan-out.
 func (s *Service) Backfill(ctx context.Context, src replay.Source) error {
-	return src.Pages(func(p *ledger.Page) error {
+	b := s.newBatcher()
+	err := src.Pages(func(p *ledger.Page) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		return s.IngestPage(p)
+		rec := newPageRecord(pageViews)
+		s.proj.fromPage(p, rec)
+		return b.add(rec)
 	})
+	if err != nil {
+		b.discard()
+		return err
+	}
+	return b.flush()
 }
 
-// BackfillStore is Backfill over a ledgerstore with segment-parallel
-// decoding: up to workers goroutines decode pages concurrently and feed
-// the views' inboxes. Pages interleave across segments, but every view
-// statistic is order-insensitive, so the result is identical to a
-// sequential backfill.
+// BackfillStore is Backfill over a ledgerstore at memory-scan speed: up
+// to workers goroutines walk the raw record payloads (mmap'd where the
+// platform allows) and project each page in place into an owned record
+// — no *ledger.Page is ever materialized — then feed the views in
+// batches. Pages interleave across segments, but every view statistic
+// is order-insensitive, so the result is identical to a sequential
+// backfill.
 //
-// This path deliberately uses PagesParallel (heap-decoded pages), not
-// the arena-decoding scan: IngestPage queues each page into the view
-// workers' inboxes and returns before they consume it, so pages are
-// retained past the callback — exactly what the arena recycling
-// contract forbids.
+// Projection validates record framing exactly like the decoding scans
+// (a CRC-clean record that DecodePage accepts always projects) plus the
+// payment fields the views consume; fields of non-payment transactions
+// are not inspected.
 func (s *Service) BackfillStore(ctx context.Context, store *ledgerstore.Store, workers int) error {
-	return store.PagesParallel(ctx, workers, func(_ int, p *ledger.Page) error {
-		return s.IngestPage(p)
+	if workers < 1 {
+		workers = defaultWorkers()
+	}
+	batchers := make([]*recBatcher, workers)
+	err := store.PayloadsParallel(ctx, workers, func(w int, payload []byte) error {
+		b := batchers[w]
+		if b == nil {
+			b = s.newBatcher()
+			batchers[w] = b
+		}
+		rec := newPageRecord(pageViews)
+		if perr := s.proj.fromPayload(payload, rec); perr != nil {
+			rec.unrefN(pageViews)
+			return fmt.Errorf("serve: backfill: %w", perr)
+		}
+		return b.add(rec)
 	})
+	for _, b := range batchers {
+		if b == nil {
+			continue
+		}
+		if err != nil {
+			b.discard()
+		} else if ferr := b.flush(); ferr != nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 // Follow subscribes to a live validation stream through a
@@ -258,23 +447,25 @@ type ViewHealth struct {
 
 // HealthReport summarizes the service for /healthz.
 type HealthReport struct {
-	Status         string        `json:"status"`
-	IngestedEvents uint64        `json:"ingested_events"`
-	IngestedPages  uint64        `json:"ingested_pages"`
-	DroppedEvents  uint64        `json:"dropped_events"`
-	StreamLastSeq  uint64        `json:"stream_last_seq"`
-	IngestIdle     time.Duration `json:"ingest_idle_ns"`
-	Views          []ViewHealth  `json:"views"`
+	Status           string        `json:"status"`
+	IngestedEvents   uint64        `json:"ingested_events"`
+	IngestedPages    uint64        `json:"ingested_pages"`
+	IngestedPayments uint64        `json:"ingested_payments"`
+	DroppedEvents    uint64        `json:"dropped_events"`
+	StreamLastSeq    uint64        `json:"stream_last_seq"`
+	IngestIdle       time.Duration `json:"ingest_idle_ns"`
+	Views            []ViewHealth  `json:"views"`
 }
 
 // Health reports the service's ingestion state. Status is "ok" while
 // nothing has been dropped, "degraded" otherwise.
 func (s *Service) Health() HealthReport {
 	h := HealthReport{
-		Status:         "ok",
-		IngestedEvents: s.ingestedEvents.Load(),
-		IngestedPages:  s.ingestedPages.Load(),
-		StreamLastSeq:  s.streamLastSeq.Load(),
+		Status:           "ok",
+		IngestedEvents:   s.ingestedEvents.Load(),
+		IngestedPages:    s.ingestedPages.Load(),
+		IngestedPayments: s.ingestedPayments.Load(),
+		StreamLastSeq:    s.streamLastSeq.Load(),
 	}
 	if last := s.lastIngestNano.Load(); last > 0 {
 		h.IngestIdle = time.Since(time.Unix(0, last))
@@ -298,17 +489,38 @@ func (s *Service) Health() HealthReport {
 	return h
 }
 
+// progressGate returns a channel closed at the next view seal or drop.
+// Waiters must take the gate BEFORE re-checking their condition, so a
+// seal between check and wait can never be missed.
+func (s *Service) progressGate() <-chan struct{} {
+	s.progressMu.Lock()
+	ch := s.progressCh
+	s.progressMu.Unlock()
+	return ch
+}
+
+// notifyProgress wakes every waiter armed on the current gate.
+func (s *Service) notifyProgress() {
+	s.progressMu.Lock()
+	close(s.progressCh)
+	s.progressCh = make(chan struct{})
+	s.progressMu.Unlock()
+}
+
 // Drain blocks until every view has applied everything offered so far
 // and published it, or the context expires — the barrier differential
 // tests and graceful shutdown use. Ingestion may continue concurrently;
 // Drain only guarantees the offers that happened before the call are
-// visible.
+// visible. Waiting is notification-driven (views signal every seal and
+// drop), so drain latency is bounded by the last seal, not a poll
+// interval.
 func (s *Service) Drain(ctx context.Context) error {
 	target := make([]uint64, len(s.views))
 	for i, w := range s.views {
 		target[i] = w.offered.Load()
 	}
 	for {
+		gate := s.progressGate()
 		done := true
 		for i, w := range s.views {
 			// Sealed (published) plus dropped must cover everything
@@ -324,14 +536,15 @@ func (s *Service) Drain(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("serve: drain: %w", ctx.Err())
-		case <-time.After(time.Millisecond):
+		case <-gate:
 		}
 	}
 }
 
 // Close stops ingestion, drains every view inbox, publishes the final
-// epochs, and stops the writer goroutines. Queries keep working against
-// the final snapshots afterwards.
+// epochs, and stops the writer goroutines (including the fingerprint
+// count shards). Queries keep working against the final snapshots
+// afterwards.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -343,4 +556,5 @@ func (s *Service) Close() {
 	for _, w := range s.views {
 		w.close()
 	}
+	s.fpState.close()
 }

@@ -9,38 +9,79 @@
 //
 // Concurrency model: every view is owned by exactly one writer
 // goroutine fed over a bounded channel (single-writer principle — the
-// view's mutable state needs no locks). Readers never touch mutable
-// state: each publish seals an immutable copy-on-publish snapshot
-// behind an atomic pointer and bumps the view's epoch, so queries never
-// block ingestion and ingestion never blocks queries. Publishes happen
-// whenever a view's inbox runs dry (fresh epochs under light load) and
-// at least every PublishBatch updates (amortized snapshot cost under
-// heavy load).
+// view's mutable state needs no locks). Ingest projects each page once
+// at the front door (project.go) into an owned record and fans the
+// record out in batches, so queue operations, channel wakeups, and
+// bookkeeping amortize over IngestBatchPages updates instead of one.
+// Readers never touch mutable state: each publish seals an immutable
+// copy-on-publish snapshot behind an atomic pointer and bumps the
+// view's epoch, so queries never block ingestion and ingestion never
+// blocks queries. Publishes happen whenever a view's inbox runs dry
+// (fresh epochs under light load) and at least every PublishBatch
+// updates (amortized snapshot cost under heavy load) — but never in
+// the middle of an ingest batch, so a snapshot always covers whole
+// batches.
 package serve
 
 import (
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"ripplestudy/internal/consensus"
-	"ripplestudy/internal/ledger"
 )
 
 // update is one unit of ingest work fanned out to the views: a stream
-// event (validation or ledger close), a decoded sealed page, or both.
-// Backfilled pages carry no event.
+// event (validation or ledger close) for the tally view, or a projected
+// page record for the page views. seq and streamSeq carry the ledger
+// and stream sequence bookkeeping so workers never re-inspect payloads.
+// The event rides behind a pointer: a consensus.Event is ~200 bytes, and
+// page updates (the firehose path) never carry one, so keeping it inline
+// would make every pooled batch slab 7× larger to copy and GC-scan.
 type update struct {
-	ev   consensus.Event
-	page *ledger.Page
+	ev        *consensus.Event // tally view only
+	rec       *pageRecord      // page views only
+	seq       uint64
+	streamSeq uint64
 }
 
+// batchPool recycles the []update batches flowing through the view
+// inboxes: producers take, consumers (or failed offers) return.
+var batchPool = sync.Pool{New: func() any {
+	s := make([]update, 0, defaultIngestBatch)
+	return &s
+}}
+
+func getUpdateBatch() []update {
+	return (*batchPool.Get().(*[]update))[:0]
+}
+
+func putUpdateBatch(b []update) {
+	for i := range b {
+		b[i] = update{} // drop event payload / record references
+	}
+	b = b[:0]
+	batchPool.Put(&b)
+}
+
+// sealGrace is how long a view waits on a dry inbox before paying for
+// a publish. Under sustained ingest the producer refills the inbox well
+// inside the grace window, so snapshots coalesce to PublishBatch
+// boundaries instead of sealing once per scheduler pass; on a genuinely
+// idle stream the epoch is still fresh within half a millisecond.
+const sealGrace = 500 * time.Microsecond
+
 // viewWorker is the single-writer machinery shared by all views: a
-// bounded inbox drained by one goroutine that applies updates to the
-// view's private state and publishes immutable snapshots.
+// bounded inbox of update batches drained by one goroutine that applies
+// updates to the view's private state and publishes immutable
+// snapshots.
 type viewWorker struct {
 	name    string
-	in      chan update
+	in      chan []update
 	apply   func(update)
 	publish func(epoch uint64)
+	notify  func() // progress signal: fired after every seal and drop
+	sealDue func() bool
 	batch   int
 	block   bool
 
@@ -51,13 +92,23 @@ type viewWorker struct {
 	sealed     atomic.Uint64 // applied updates covered by the latest publish
 	appliedSeq atomic.Uint64 // highest ledger sequence applied
 	streamSeq  atomic.Uint64 // highest stream sequence applied
+	seals      atomic.Uint64 // publishes since start (excluding bootstrap)
+	sealNanos  atomic.Int64  // duration of the latest publish
 
 	done chan struct{}
 }
 
 // newViewWorker starts a view. publish(0) is called synchronously before
-// any update so queries always find a (possibly empty) snapshot.
-func newViewWorker(name string, queue, batch int, block bool, apply func(update), publish func(epoch uint64)) *viewWorker {
+// any update so queries always find a (possibly empty) snapshot. notify
+// (optional) is invoked after every seal and every dropped batch — the
+// service's Drain waiters key off it. sealDue (optional) further gates
+// batch-boundary seals: a view whose publish cost grows with its state
+// (the fingerprint view clones every dirty count shard) uses it to space
+// publishes geometrically under sustained load, keeping total
+// copy-on-publish traffic linear in ingest instead of quadratic.
+// Inbox-dry and shutdown seals ignore the gate, so idle epochs stay
+// fresh and Drain always completes.
+func newViewWorker(name string, queue, batch int, block bool, apply func(update), publish func(epoch uint64), notify func(), sealDue func() bool) *viewWorker {
 	if queue < 1 {
 		queue = 1
 	}
@@ -66,9 +117,11 @@ func newViewWorker(name string, queue, batch int, block bool, apply func(update)
 	}
 	w := &viewWorker{
 		name:    name,
-		in:      make(chan update, queue),
+		in:      make(chan []update, queue),
 		apply:   apply,
 		publish: publish,
+		notify:  notify,
+		sealDue: sealDue,
 		batch:   batch,
 		block:   block,
 		done:    make(chan struct{}),
@@ -85,20 +138,48 @@ func (w *viewWorker) run() {
 		if sinceLast == 0 {
 			return
 		}
+		start := time.Now()
 		w.publish(w.epoch.Add(1))
+		w.sealNanos.Store(int64(time.Since(start)))
+		w.seals.Add(1)
 		// Published; everything applied so far is now visible to readers.
 		w.sealed.Store(w.applied.Load())
 		sinceLast = 0
+		if w.notify != nil {
+			w.notify()
+		}
+	}
+	grace := time.NewTimer(sealGrace)
+	if !grace.Stop() {
+		<-grace.C
 	}
 	for {
-		var u update
+		var b []update
 		var ok bool
 		select {
-		case u, ok = <-w.in:
+		case b, ok = <-w.in:
 		default:
-			// Inbox dry: seal what has accumulated, then wait.
-			seal()
-			u, ok = <-w.in
+			if sinceLast == 0 {
+				// Nothing unpublished: just wait for work.
+				b, ok = <-w.in
+				break
+			}
+			// Inbox dry with updates pending: give the producer a grace
+			// window to refill before paying for a publish. A seal is a
+			// copy-on-publish snapshot (for the fingerprint view, a
+			// scatter-gather clone of every dirty shard), so sealing on
+			// every scheduling gap would melt a backfill into clone
+			// traffic.
+			grace.Reset(sealGrace)
+			select {
+			case b, ok = <-w.in:
+				if !grace.Stop() {
+					<-grace.C
+				}
+			case <-grace.C:
+				seal()
+				b, ok = <-w.in
+			}
 		}
 		if !ok {
 			// Shutdown: everything offered has been applied; seal the
@@ -106,18 +187,22 @@ func (w *viewWorker) run() {
 			seal()
 			return
 		}
-		w.apply(u)
-		if u.page != nil {
-			w.bumpSeq(&w.appliedSeq, u.page.Header.Sequence)
-		} else if u.ev.Seq > 0 {
-			w.bumpSeq(&w.appliedSeq, u.ev.Seq)
+		for i := range b {
+			u := &b[i]
+			w.apply(*u)
+			if u.seq > 0 {
+				w.bumpSeq(&w.appliedSeq, u.seq)
+			}
+			if u.streamSeq > 0 {
+				w.bumpSeq(&w.streamSeq, u.streamSeq)
+			}
 		}
-		if u.ev.StreamSeq > 0 {
-			w.bumpSeq(&w.streamSeq, u.ev.StreamSeq)
-		}
-		w.applied.Add(1)
-		sinceLast++
-		if sinceLast >= w.batch {
+		w.applied.Add(uint64(len(b)))
+		sinceLast += len(b)
+		putUpdateBatch(b)
+		// Seal only between batches — a snapshot never splits one — and
+		// only once the view's publish-cost gate (if any) agrees.
+		if sinceLast >= w.batch && (w.sealDue == nil || w.sealDue()) {
 			seal()
 		}
 	}
@@ -132,22 +217,48 @@ func (w *viewWorker) bumpSeq(g *atomic.Uint64, v uint64) {
 	}
 }
 
-// offer hands an update to the view. Blocking mode applies backpressure
-// (lossless, the differential-test configuration); non-blocking mode
-// drops and counts when the inbox is full (load-shedding for live
-// serving where falling behind the stream is worse than a coarser
-// view).
+// offer hands a single update to the view, as a one-element batch.
 func (w *viewWorker) offer(u update) bool {
-	w.offered.Add(1)
+	b := getUpdateBatch()
+	b = append(b, u)
+	if !w.offerBatch(b) {
+		if u.rec != nil {
+			u.rec.unref()
+		}
+		putUpdateBatch(b)
+		return false
+	}
+	return true
+}
+
+// offerBatch hands a batch of updates to the view. On success the view
+// owns the slice (it is recycled after apply). Blocking mode applies
+// backpressure (lossless, the differential-test configuration);
+// non-blocking mode drops the whole batch and counts its updates when
+// the inbox is full (load-shedding for live serving where falling
+// behind the stream is worse than a coarser view). On failure the
+// CALLER still owns the slice — and the records it references.
+func (w *viewWorker) offerBatch(b []update) bool {
+	n := uint64(len(b))
+	if n == 0 {
+		putUpdateBatch(b)
+		return true
+	}
+	w.offered.Add(n)
 	if w.block {
-		w.in <- u
+		w.in <- b
 		return true
 	}
 	select {
-	case w.in <- u:
+	case w.in <- b:
 		return true
 	default:
-		w.dropped.Add(1)
+		w.dropped.Add(n)
+		// A drop can complete a Drain target (dropped updates never
+		// seal), so it must wake waiters too.
+		if w.notify != nil {
+			w.notify()
+		}
 		return false
 	}
 }
