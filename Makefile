@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Data-race check over the concurrent paths: stream/collection, the
-# sharded de-anonymization pipeline (PagesParallel + ParallelStudy), and
-# the live serving layer (concurrent queries against ingestion).
+# sharded de-anonymization pipeline (PagesParallel + ParallelStudy), the
+# live serving layer (concurrent queries against ingestion), and the
+# transaction front door (quote readers racing the batch applier).
 race:
-	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/... ./internal/replay/... ./internal/integration/...
+	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/... ./internal/replay/... ./internal/txq/... ./internal/integration/...
 
 # Perf trajectory: run the Figure 3 pipeline and store benchmarks with
 # allocation stats and archive them as JSON so future PRs can diff
@@ -43,6 +44,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'ConsensusRound' -benchmem ./internal/consensus | tee bench_consensus.out
 	$(GO) run ./cmd/benchjson -out BENCH_consensus.json < bench_consensus.out
 	@echo "wrote BENCH_consensus.json"
+	$(GO) test -run '^$$' -bench 'TxqFrontDoor' -benchmem ./internal/txq | tee bench_txq.out
+	$(GO) run ./cmd/benchjson -out BENCH_txq.json < bench_txq.out
+	@echo "wrote BENCH_txq.json"
 
 # Regression smoke: re-run the serving-layer benchmarks and gate ns/op
 # against the committed archive without rewriting it. TOLERANCE is the
@@ -53,6 +57,8 @@ TOLERANCE ?= 20
 bench-check:
 	$(GO) test -run '^$$' -bench 'Serve' -benchmem ./internal/serve | tee bench_serve.out
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance $(TOLERANCE) < bench_serve.out
+	$(GO) test -run '^$$' -bench 'TxqFrontDoor' -benchmem ./internal/txq | tee bench_txq.out
+	$(GO) run ./cmd/benchjson -check BENCH_txq.json -tolerance $(TOLERANCE) < bench_txq.out
 
 # Fuzz smoke: brief randomized exploration of the zero-copy decode
 # surfaces (the in-place payment scan and the arena page decoder),

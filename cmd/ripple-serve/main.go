@@ -11,7 +11,11 @@
 //	ripple-serve -listen 127.0.0.1:8080 -store ./history -workers 8
 //
 // Endpoints: /healthz, /metrics (Prometheus text), /v1/validators,
-// /v1/deanon, /v1/deanon/lookup, /v1/ecosystem.
+// /v1/deanon, /v1/deanon/lookup, /v1/ecosystem. With -txq the online
+// front door adds /v1/path_find (ripple_path_find-style quotes over a
+// read-set-invalidated plan cache), /v1/submit (admission-controlled
+// transaction queue feeding the optimistic parallel planner), and
+// /v1/tx_status.
 //
 // SIGINT/SIGTERM shut down gracefully: the stream subscription stops,
 // in-flight ingestion drains into a final epoch, the HTTP server
@@ -34,8 +38,21 @@ import (
 	"ripplestudy/internal/consensus"
 	"ripplestudy/internal/ledgerstore"
 	"ripplestudy/internal/netstream"
+	"ripplestudy/internal/payment"
+	"ripplestudy/internal/replay"
 	"ripplestudy/internal/serve"
+	"ripplestudy/internal/txq"
 )
+
+// txqFlags carries the front-door configuration from flag parsing to
+// run.
+type txqFlags struct {
+	enable       bool
+	depth        int
+	batch        int
+	backpressure bool
+	cache        int
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP address for the query API")
@@ -51,6 +68,12 @@ func main() {
 	fpShards := flag.Int("fp-shards", 0, "fingerprint count shards, rounded up to a power of two (1 = single-writer, 0 = cover GOMAXPROCS)")
 	drop := flag.Bool("drop", false, "shed ingest load when a view falls behind instead of applying backpressure")
 	maxInflight := flag.Int("max-inflight", 64, "max concurrent HTTP queries")
+	var tq txqFlags
+	flag.BoolVar(&tq.enable, "txq", false, "serve the online front door: /v1/path_find quotes, /v1/submit, /v1/tx_status (engine state replayed from -store when given, empty otherwise)")
+	flag.IntVar(&tq.depth, "txq-depth", 1024, "transaction queue admission bound")
+	flag.IntVar(&tq.batch, "txq-batch", 256, "transactions per optimistic planning batch")
+	flag.BoolVar(&tq.backpressure, "txq-backpressure", false, "make /v1/submit wait for queue space instead of shedding with 503")
+	flag.IntVar(&tq.cache, "txq-cache", 4096, "path-plan quote cache entries")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -61,7 +84,7 @@ func main() {
 		NonBlocking:       *drop,
 		MaxConcurrent:     *maxInflight,
 	}
-	if err := run(*listen, *connect, *storeDir, *period, *workers, *retries, *stall, opts); err != nil {
+	if err := run(*listen, *connect, *storeDir, *period, *workers, *retries, *stall, opts, tq); err != nil {
 		fmt.Fprintln(os.Stderr, "ripple-serve:", err)
 		os.Exit(1)
 	}
@@ -93,7 +116,7 @@ func periodLabels(period string) (map[addr.NodeID]string, error) {
 	return labels, nil
 }
 
-func run(listen, connect, storeDir, period string, workers, retries int, stall time.Duration, opts serve.Options) error {
+func run(listen, connect, storeDir, period string, workers, retries int, stall time.Duration, opts serve.Options, tq txqFlags) error {
 	labels, err := periodLabels(period)
 	if err != nil {
 		return err
@@ -103,6 +126,46 @@ func run(listen, connect, storeDir, period string, workers, retries int, stall t
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	var st *ledgerstore.Store
+	if storeDir != "" {
+		st, err = ledgerstore.Open(storeDir)
+		if err != nil {
+			return err
+		}
+	}
+
+	var fd *txq.FrontDoor
+	if tq.enable {
+		// The front door owns its own engine: replayed from the store's
+		// full history when one is given, empty (accounts funded via
+		// submitted history) otherwise.
+		eng := payment.NewEngine()
+		if st != nil {
+			last, ok, serr := st.LastSeq()
+			if serr != nil {
+				return fmt.Errorf("txq: %w", serr)
+			}
+			if ok {
+				start := time.Now()
+				eng, serr = replay.BuildState(st, last)
+				if serr != nil {
+					return fmt.Errorf("txq: rebuilding engine state: %w", serr)
+				}
+				fmt.Fprintf(os.Stderr, "ripple-serve: txq engine state rebuilt through seq %d in %v\n",
+					last, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		fd = txq.New(eng, txq.Options{
+			QueueDepth:   tq.depth,
+			BatchSize:    tq.batch,
+			Backpressure: tq.backpressure,
+			CacheSize:    tq.cache,
+		})
+		svc.AttachFrontDoor(fd)
+		fmt.Fprintf(os.Stderr, "ripple-serve: txq front door up (depth=%d batch=%d backpressure=%v)\n",
+			tq.depth, tq.batch, tq.backpressure)
+	}
 
 	httpSrv := &http.Server{Addr: listen, Handler: svc.Handler()}
 	httpErr := make(chan error, 1)
@@ -114,11 +177,7 @@ func run(listen, connect, storeDir, period string, workers, retries int, stall t
 		close(httpErr)
 	}()
 
-	if storeDir != "" {
-		st, err := ledgerstore.Open(storeDir)
-		if err != nil {
-			return err
-		}
+	if st != nil {
 		start := time.Now()
 		if err := svc.BackfillStore(ctx, st, workers); err != nil {
 			if ctx.Err() != nil {
@@ -167,6 +226,15 @@ func run(listen, connect, storeDir, period string, workers, retries int, stall t
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ripple-serve: drain incomplete: %v\n", err)
 	}
+	if fd != nil {
+		// Admitted transactions are applied before the door closes; the
+		// HTTP server is still up, so their /v1/submit waiters resolve.
+		fdCtx, fdCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := fd.Drain(fdCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "ripple-serve: txq drain incomplete: %v\n", err)
+		}
+		fdCancel()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "ripple-serve: http shutdown: %v\n", err)
@@ -174,6 +242,12 @@ func run(listen, connect, storeDir, period string, workers, retries int, stall t
 	cancel()
 	if err, ok := <-httpErr; ok && err != nil {
 		return err
+	}
+	if fd != nil {
+		fd.Close()
+		s := fd.StatsNow()
+		fmt.Fprintf(os.Stderr, "ripple-serve: txq final: offered=%d applied=%d shed=%d cache hits=%d misses=%d\n",
+			s.Offered, s.Applied, s.Shed, s.CacheHits, s.CacheMisses)
 	}
 	svc.Close()
 

@@ -37,12 +37,15 @@ type Config struct {
 	// materialize transaction-level views without a separate ledger
 	// fetch path.
 	StreamPages bool
-	// StreamProposals publishes one EventProposal per round carrying the
-	// candidate transaction-set hashes, and attaches the agreed tx
-	// hashes to each ledger-close event — enough signal for a monitor to
-	// detect censorship (a tx proposed round after round that never
-	// closes). Off by default so the benign stream stays byte-identical
-	// to the pre-attack pipeline.
+	// StreamProposals publishes, per round, one aggregate EventProposal
+	// carrying the candidate transaction-set hashes plus one
+	// per-validator EventProposal (Node set) for every proposer's initial
+	// transaction set, and attaches the agreed tx hashes to each
+	// ledger-close event. The aggregate event tells a monitor a tx was in
+	// play; the per-validator events let it tell targeted censorship (one
+	// node omits a tx its peers propose) apart from global starvation (a
+	// liveness failure where nobody's proposal closes). Off by default so
+	// the benign stream stays byte-identical to the pre-attack pipeline.
 	StreamProposals bool
 	// Partition, when non-nil, models the sub-bound UNL-overlap attack:
 	// the trusted quorum members split into two groups sharing Overlap
@@ -91,9 +94,12 @@ const (
 	EventValidation EventKind = iota + 1
 	// EventLedgerClosed announces a fully validated main-chain page.
 	EventLedgerClosed
-	// EventProposal announces the candidate transaction set entering a
-	// consensus round (emitted only with Config.StreamProposals). A
-	// monitor correlates proposals against closes to spot censorship.
+	// EventProposal announces a candidate transaction set entering a
+	// consensus round (emitted only with Config.StreamProposals): the
+	// round's aggregate set (Node unset), then each proposer's initial
+	// set (Node set). A monitor correlates proposals against closes to
+	// spot censorship, and diffs the per-validator sets to tell a
+	// targeted censor from a global liveness starvation.
 	EventProposal
 )
 
@@ -370,15 +376,16 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 	late := n.lateQueue
 	n.lateQueue = nil
 
+	var candHashes []ledger.Hash
 	if n.cfg.StreamProposals && len(candidates) > 0 {
-		hashes := make([]ledger.Hash, len(candidates))
+		candHashes = make([]ledger.Hash, len(candidates))
 		for i, tx := range candidates {
-			hashes[i] = tx.Hash()
+			candHashes[i] = tx.Hash()
 		}
 		n.emit(Event{
 			Kind:     EventProposal,
 			Seq:      n.chain.Tip().Header.Sequence + 1,
-			TxHashes: hashes,
+			TxHashes: candHashes,
 			Time:     n.now,
 		})
 	}
@@ -403,7 +410,35 @@ func (n *Network) RunRound(candidates []*ledger.Tx) (*RoundResult, error) {
 		}
 	}
 
-	agreed, iters := n.proposalPhase(proposers, candidates)
+	agreed, iters, initial := n.proposalPhase(proposers, candidates)
+
+	// Per-validator proposal events: each proposer's initial transaction
+	// set, the signal that separates a censor (omits one tx, proposes the
+	// rest) from a stalled proposer (proposes nothing — no event at all,
+	// since an empty set carries no information). Not counted as protocol
+	// messages: proposals are already priced by the iteration count.
+	if n.cfg.StreamProposals && len(initial) > 0 {
+		seq := n.chain.Tip().Header.Sequence + 1
+		for i, v := range proposers {
+			var hashes []ledger.Hash
+			for j := range candidates {
+				if initial[i][j] {
+					hashes = append(hashes, candHashes[j])
+				}
+			}
+			if len(hashes) == 0 {
+				continue
+			}
+			n.emit(Event{
+				Kind:     EventProposal,
+				Seq:      seq,
+				Node:     v.id,
+				TxHashes: hashes,
+				Time:     n.now,
+			})
+		}
+	}
+
 	var deferred []*ledger.Tx
 	censored := 0
 	agreedSet := make(map[ledger.Hash]bool, len(agreed))
@@ -675,11 +710,13 @@ func (n *Network) partitionGroups(overlap float64) (map[*validator]int, int) {
 // proposing it meets the rising threshold. Byzantine proposers bend the
 // rules: censors force targeted transactions out of their proposals at
 // every iteration, and delayers withhold all votes until their
-// DelayIters deadline passes. Returns the agreed set and the number of
-// iterations used.
-func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) ([]*ledger.Tx, int) {
+// DelayIters deadline passes. Returns the agreed set, the number of
+// iterations used, and the iteration-0 proposal matrix
+// (initial[i][j] — did validator i's first broadcast include candidate
+// j), which RunRound streams as per-validator proposal events.
+func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) ([]*ledger.Tx, int, [][]bool) {
 	if len(actives) == 0 || len(candidates) == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	// proposals[i][j] — does validator i currently propose candidate j.
 	proposals := make([][]bool, len(actives))
@@ -693,6 +730,7 @@ func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) (
 			proposals[i][j] = keep
 		}
 	}
+	initial := proposals // iteration loop replaces, never mutates, rows
 	iters := 0
 	for ti, threshold := range n.cfg.Thresholds {
 		iters++
@@ -737,7 +775,7 @@ func (n *Network) proposalPhase(actives []*validator, candidates []*ledger.Tx) (
 			agreed = append(agreed, tx)
 		}
 	}
-	return agreed, iters
+	return agreed, iters, initial
 }
 
 // closeMainPage applies the agreed set to the canonical engine and

@@ -14,9 +14,11 @@ import (
 // the adversaries of "Security Analysis of Ripple Consensus": validators
 // double-signing one ledger sequence (equivocation), two fully validated
 // pages at the same sequence (a committed fork), transactions proposed
-// round after round but never closed (censorship), rounds that stop
-// producing validated ledgers (liveness stall), and validations that
-// trail the stream's sequence high-water mark (delayed proposers).
+// round after round but never closed (targeted censorship when one
+// validator consistently omits them from its proposals, starvation when
+// the whole network fails to close them), rounds that stop producing
+// validated ledgers (liveness stall), and validations that trail the
+// stream's sequence high-water mark (delayed proposers).
 //
 // The detector's per-event bookkeeping also subsumes duplicate
 // suppression: an exact replay of a previously recorded event (same
@@ -33,7 +35,11 @@ const (
 	// AlertFork: two fully validated pages observed at one sequence.
 	AlertFork
 	// AlertCensorship: a transaction was proposed but has not closed
-	// within the configured number of subsequent ledger closes.
+	// within the configured number of subsequent ledger closes, and the
+	// per-validator proposal diff shows a consistent omitter — one node
+	// kept it out of its proposals while peers proposed it round after
+	// round. (Streams without per-validator proposal events fall back to
+	// flagging any expired proposed-but-unclosed transaction.)
 	AlertCensorship
 	// AlertStall: the stream carries validations for sequences far past
 	// the last fully validated close — consensus has stopped finalizing.
@@ -41,6 +47,11 @@ const (
 	// AlertLateValidation: a validation arrived for a sequence below the
 	// stream's high-water mark — the signature of a delayed proposer.
 	AlertLateValidation
+	// AlertStarvation: a transaction expired unclosed but the
+	// per-validator proposal diff shows no consistent omitter — everyone
+	// proposed it (or nobody did) and it still never closed. A liveness
+	// failure starving all traffic, not a targeted censor.
+	AlertStarvation
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +67,8 @@ func (k AlertKind) String() string {
 		return "stall"
 	case AlertLateValidation:
 		return "late-validation"
+	case AlertStarvation:
+		return "starvation"
 	default:
 		return fmt.Sprintf("AlertKind(%d)", int(k))
 	}
@@ -119,6 +132,49 @@ type pendingTx struct {
 	firstSeq uint64
 	closes   int
 	alerted  bool
+
+	// Per-validator proposal diffing. A round is "diffed" when some
+	// proposer included the transaction and another (non-empty) proposer
+	// omitted it; omits/proposes count, per node, how many diffed rounds
+	// that node fell on each side of. perValidator marks that at least
+	// one per-validator proposal event mentioned the tx at all — streams
+	// without them (metadata-only) keep the legacy all-censorship
+	// behavior.
+	perValidator bool
+	diffRounds   int
+	omits        map[addr.NodeID]int
+	proposes     map[addr.NodeID]int
+}
+
+// culprit returns the consistent omitter behind a targeted verdict: the
+// node that omitted the transaction in every diffed round while some
+// other node proposed it in every one. Ties break on node ID so alert
+// attribution is deterministic.
+func (p *pendingTx) culprit() (addr.NodeID, bool) {
+	if p.diffRounds < 2 {
+		return addr.NodeID{}, false
+	}
+	consistentProposer := false
+	for _, n := range p.proposes {
+		if n == p.diffRounds {
+			consistentProposer = true
+			break
+		}
+	}
+	if !consistentProposer {
+		return addr.NodeID{}, false
+	}
+	var out addr.NodeID
+	found := false
+	for node, n := range p.omits {
+		if n != p.diffRounds {
+			continue
+		}
+		if !found || node.String() < out.String() {
+			out, found = node, true
+		}
+	}
+	return out, found
 }
 
 // Detector watches a collection stream for attack indicators. Like the
@@ -137,6 +193,14 @@ type Detector struct {
 
 	pending   map[ledger.Hash]*pendingTx
 	suspected int
+	starved   int
+
+	// propRound buffers the current round's per-validator proposal sets;
+	// propSeq is the round it belongs to. The buffer is diffed into the
+	// pending table when the round ends (its close arrives, or the next
+	// round's proposals start).
+	propRound map[addr.NodeID]map[ledger.Hash]struct{}
+	propSeq   uint64
 
 	firstValSeq  uint64
 	maxValSeq    uint64
@@ -167,6 +231,7 @@ func NewDetector(cfg DetectorConfig) *Detector {
 		closedAt:     make(map[uint64][]ledger.Hash),
 		forked:       make(map[uint64]struct{}),
 		pending:      make(map[ledger.Hash]*pendingTx),
+		propRound:    make(map[addr.NodeID]map[ledger.Hash]struct{}),
 		lateSeen:     make(map[nodeSeq]struct{}),
 	}
 }
@@ -180,8 +245,16 @@ type AttackSummary struct {
 	// ForkedSequences counts sequences with two fully validated pages.
 	ForkedSequences int
 	// SuspectedCensoredTxs counts transactions proposed but not closed
-	// within CensorshipCloses subsequent closes.
+	// within CensorshipCloses subsequent closes whose per-validator
+	// proposal diff shows a consistent omitter — targeted censorship.
+	// Streams without per-validator proposal events count every expired
+	// transaction here (the legacy, over-reporting behavior — they carry
+	// no signal to tell the cases apart).
 	SuspectedCensoredTxs int
+	// StarvedTxs counts transactions that expired unclosed with NO
+	// consistent omitter in their proposal diffs: collateral damage of a
+	// liveness failure rather than a censor's targets.
+	StarvedTxs int
 	// StallAlarms counts liveness alarms: the stream advanced
 	// StallSequences past the last fully validated close.
 	StallAlarms int
@@ -199,7 +272,8 @@ type AttackSummary struct {
 // transport noise, not an attack, and do not count.
 func (s AttackSummary) Attacked() bool {
 	return s.Equivocations > 0 || s.ForkedSequences > 0 ||
-		s.SuspectedCensoredTxs > 0 || s.StallAlarms > 0 || s.LateValidations > 0
+		s.SuspectedCensoredTxs > 0 || s.StarvedTxs > 0 ||
+		s.StallAlarms > 0 || s.LateValidations > 0
 }
 
 // Summary returns the findings so far.
@@ -209,6 +283,7 @@ func (d *Detector) Summary() AttackSummary {
 		EquivocatingValidators: len(d.equivocators),
 		ForkedSequences:        len(d.forked),
 		SuspectedCensoredTxs:   d.suspected,
+		StarvedTxs:             d.starved,
 		StallAlarms:            d.stallAlarms,
 		LateValidations:        d.late,
 		DedupedEvents:          d.deduped,
@@ -297,6 +372,9 @@ func (d *Detector) observeValidation(ev consensus.Event) {
 // observeClose checks one ledger close for divergent chains, advances
 // the liveness watermark, and sweeps the censorship suspicion table.
 func (d *Detector) observeClose(ev consensus.Event) {
+	// The close ends the round: fold its buffered per-validator
+	// proposals into the pending diffs before sweeping.
+	d.flushProposalRound()
 	prev := d.closedAt[ev.Seq]
 	known := false
 	for _, h := range prev {
@@ -339,24 +417,99 @@ func (d *Detector) observeClose(ev consensus.Event) {
 		p.closes++
 		if !p.alerted && p.closes >= d.cfg.CensorshipCloses {
 			p.alerted = true
-			d.suspected++
-			d.raise(Alert{
-				Kind: AlertCensorship, Seq: ev.Seq, TxHash: txh,
-				Detail: fmt.Sprintf("tx %x… proposed at seq %d still unclosed after %d closes — suspected censorship",
-					txh[:4], p.firstSeq, p.closes),
-			})
+			if culprit, targeted := p.culprit(); targeted {
+				d.suspected++
+				d.raise(Alert{
+					Kind: AlertCensorship, Seq: ev.Seq, TxHash: txh, Node: culprit,
+					Detail: fmt.Sprintf("tx %x… proposed at seq %d still unclosed after %d closes; validator %s omitted it in all %d diffed rounds — targeted censorship",
+						txh[:4], p.firstSeq, p.closes, culprit.Short(), p.diffRounds),
+				})
+			} else if p.perValidator {
+				d.starved++
+				d.raise(Alert{
+					Kind: AlertStarvation, Seq: ev.Seq, TxHash: txh,
+					Detail: fmt.Sprintf("tx %x… proposed at seq %d still unclosed after %d closes with no consistent omitter — liveness starvation, not targeted censorship",
+						txh[:4], p.firstSeq, p.closes),
+				})
+			} else {
+				// Metadata-only stream: no per-validator proposals to
+				// diff, so every expired tx stays a censorship suspect.
+				d.suspected++
+				d.raise(Alert{
+					Kind: AlertCensorship, Seq: ev.Seq, TxHash: txh,
+					Detail: fmt.Sprintf("tx %x… proposed at seq %d still unclosed after %d closes — suspected censorship",
+						txh[:4], p.firstSeq, p.closes),
+				})
+			}
 		}
 	}
 }
 
 // observeProposal registers the round's candidate transactions for the
-// censorship sweep.
+// censorship sweep. Aggregate events (no Node) only register; events
+// carrying a Node additionally buffer that proposer's set for the
+// round's per-validator diff.
 func (d *Detector) observeProposal(ev consensus.Event) {
+	if ev.Node != (addr.NodeID{}) {
+		if ev.Seq != d.propSeq {
+			d.flushProposalRound()
+			d.propSeq = ev.Seq
+		}
+		set := d.propRound[ev.Node]
+		if set == nil {
+			set = make(map[ledger.Hash]struct{}, len(ev.TxHashes))
+			d.propRound[ev.Node] = set
+		}
+		for _, h := range ev.TxHashes {
+			set[h] = struct{}{}
+		}
+	}
 	for _, txh := range ev.TxHashes {
 		if _, ok := d.pending[txh]; !ok {
 			d.pending[txh] = &pendingTx{firstSeq: ev.Seq}
 		}
 	}
+}
+
+// flushProposalRound diffs the buffered round's per-validator proposal
+// sets into the pending table: for each pending transaction that some
+// buffered proposer included and another omitted, the round counts as
+// diffed and every buffered proposer lands on its side of the tally. A
+// proposer that broadcast nothing is absent from the buffer entirely
+// (the network skips empty sets), so a stalled validator never counts
+// as an omitter — that is precisely the censor/starvation distinction.
+func (d *Detector) flushProposalRound() {
+	if len(d.propRound) == 0 {
+		return
+	}
+	for txh, p := range d.pending {
+		proposers := 0
+		for _, set := range d.propRound {
+			if _, ok := set[txh]; ok {
+				proposers++
+			}
+		}
+		if proposers == 0 {
+			continue
+		}
+		p.perValidator = true
+		if proposers == len(d.propRound) {
+			continue // unanimous: nothing to diff
+		}
+		p.diffRounds++
+		if p.omits == nil {
+			p.omits = make(map[addr.NodeID]int)
+			p.proposes = make(map[addr.NodeID]int)
+		}
+		for node, set := range d.propRound {
+			if _, ok := set[txh]; ok {
+				p.proposes[node]++
+			} else {
+				p.omits[node]++
+			}
+		}
+	}
+	clear(d.propRound)
 }
 
 // gap is how many sequences the validation stream has advanced past the

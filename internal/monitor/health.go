@@ -126,6 +126,7 @@ func (h CollectionHealth) WriteReport(w io.Writer) error {
 		{"equivocating validators", h.Attack.EquivocatingValidators},
 		{"forked sequences", h.Attack.ForkedSequences},
 		{"suspected censored txs", h.Attack.SuspectedCensoredTxs},
+		{"starved txs (liveness)", h.Attack.StarvedTxs},
 		{"liveness stall alarms", h.Attack.StallAlarms},
 		{"late validations", h.Attack.LateValidations},
 	}

@@ -1,0 +1,181 @@
+package monitor
+
+import (
+	"testing"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/consensus"
+	"ripplestudy/internal/ledger"
+)
+
+// nodeProposal builds one validator's per-round proposal event.
+func nodeProposal(kpSeed uint64, seq uint64, txs ...ledger.Hash) consensus.Event {
+	return consensus.Event{
+		Kind:     consensus.EventProposal,
+		Seq:      seq,
+		Node:     addr.KeyPairFromSeed(kpSeed).NodeID(),
+		TxHashes: txs,
+	}
+}
+
+// TestDetectorSeparatesStarvationFromCensorship is the core regression:
+// with per-validator proposals streamed, a transaction one validator
+// consistently omits (while its peers propose it) is censorship with the
+// omitter named, and a transaction everyone proposes but that never
+// closes is starvation — not a second censorship count.
+func TestDetectorSeparatesStarvationFromCensorship(t *testing.T) {
+	c := NewCollector()
+	c.ConfigureDetector(DetectorConfig{CensorshipCloses: 3})
+	victim := ledger.SHA512Half([]byte("victim tx"))
+	starve := ledger.SHA512Half([]byte("starved tx"))
+	censor := addr.KeyPairFromSeed(3).NodeID()
+
+	for seq := uint64(1); seq <= 5; seq++ {
+		bg := ledger.SHA512Half([]byte{byte(seq), 'b', 'g'})
+		// Aggregate proposal, then each validator's own set: nodes 1 and
+		// 2 propose everything, node 3 strips the victim.
+		c.Record(consensus.Event{Kind: consensus.EventProposal, Seq: seq,
+			TxHashes: []ledger.Hash{victim, starve, bg}})
+		c.Record(nodeProposal(1, seq, victim, starve, bg))
+		c.Record(nodeProposal(2, seq, victim, starve, bg))
+		c.Record(nodeProposal(3, seq, starve, bg))
+		c.Record(signedValidation(1, seq, pageHash(seq)))
+		// Only the background tx closes: the victim is vetoed, the
+		// starved tx never converges despite unanimous proposals.
+		c.Record(closeEvent(seq, pageHash(seq), bg))
+	}
+
+	s := c.Detector().Summary()
+	if s.SuspectedCensoredTxs != 1 {
+		t.Errorf("SuspectedCensoredTxs = %d, want exactly the victim", s.SuspectedCensoredTxs)
+	}
+	if s.StarvedTxs != 1 {
+		t.Errorf("StarvedTxs = %d, want exactly the starved tx", s.StarvedTxs)
+	}
+	if !s.Attacked() {
+		t.Error("censorship+starvation did not mark the collection attacked")
+	}
+	var cAlert, sAlert *Alert
+	alerts := c.Detector().Alerts()
+	for i := range alerts {
+		switch alerts[i].Kind {
+		case AlertCensorship:
+			cAlert = &alerts[i]
+		case AlertStarvation:
+			sAlert = &alerts[i]
+		}
+	}
+	if cAlert == nil || cAlert.TxHash != victim {
+		t.Fatalf("censorship alert = %+v, want the victim tx", cAlert)
+	}
+	if cAlert.Node != censor {
+		t.Errorf("censorship alert names %s, want the consistent omitter %s",
+			cAlert.Node.Short(), censor.Short())
+	}
+	if sAlert == nil || sAlert.TxHash != starve {
+		t.Fatalf("starvation alert = %+v, want the starved tx", sAlert)
+	}
+	if sAlert.Node != (addr.NodeID{}) {
+		t.Errorf("starvation alert blames validator %s; nobody omitted it", sAlert.Node.Short())
+	}
+}
+
+// TestDetectorStalledProposerIsNotAnOmitter pins the empty-set rule: a
+// validator that proposes nothing at all (a delayer — the network skips
+// empty proposal sets) must not count as "omitting" every transaction,
+// or every liveness failure would read as that validator censoring all
+// traffic.
+func TestDetectorStalledProposerIsNotAnOmitter(t *testing.T) {
+	c := NewCollector()
+	c.ConfigureDetector(DetectorConfig{CensorshipCloses: 3})
+	tx := ledger.SHA512Half([]byte("stuck tx"))
+	for seq := uint64(1); seq <= 5; seq++ {
+		c.Record(consensus.Event{Kind: consensus.EventProposal, Seq: seq, TxHashes: []ledger.Hash{tx}})
+		// Nodes 1 and 2 propose it; node 3 (the delayer) sends nothing,
+		// so no event for it exists at all.
+		c.Record(nodeProposal(1, seq, tx))
+		c.Record(nodeProposal(2, seq, tx))
+		c.Record(signedValidation(1, seq, pageHash(seq)))
+		c.Record(closeEvent(seq, pageHash(seq))) // empty close: nothing agreed
+	}
+	s := c.Detector().Summary()
+	if s.SuspectedCensoredTxs != 0 {
+		t.Errorf("SuspectedCensoredTxs = %d, want 0: the unanimous proposers starved, nobody censored", s.SuspectedCensoredTxs)
+	}
+	if s.StarvedTxs != 1 {
+		t.Errorf("StarvedTxs = %d, want 1", s.StarvedTxs)
+	}
+}
+
+// TestDelayerScenarioReportsStarvationNotCensorship runs the real
+// 1-delayer liveness attack end to end: the delayer withholds proposals
+// through every escalation deadline, so nothing converges and every
+// round closes empty while traffic piles up. The old detector reported
+// that as mass censorship; the proposal diff must file it as starvation.
+func TestDelayerScenarioReportsStarvationNotCensorship(t *testing.T) {
+	col := NewCollector()
+	sc := consensus.ScenarioConfig{
+		Name: "delayer-starvation", Rounds: 30, Seed: 5,
+		Attack:  consensus.AttackSpec{Delayers: 1},
+		OnEvent: col.Record,
+	}
+	if _, err := consensus.RunScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Detector().Summary()
+	if s.SuspectedCensoredTxs != 0 {
+		t.Errorf("SuspectedCensoredTxs = %d, want 0: a delayer starves traffic, it does not target it", s.SuspectedCensoredTxs)
+	}
+	if s.StarvedTxs == 0 {
+		t.Error("StarvedTxs = 0: the stalled rounds' expired traffic went unreported")
+	}
+	if !s.Attacked() {
+		t.Error("starvation did not mark the collection attacked")
+	}
+	for _, a := range col.Detector().Alerts() {
+		if a.Kind == AlertCensorship {
+			t.Fatalf("spurious censorship alert under a pure liveness stall: %s", a.Detail)
+		}
+	}
+}
+
+// TestCensorScenarioStillReportsCensorship is the flip side: the real
+// censor attack must keep tripping AlertCensorship — with the censor
+// named — and must not dilute into starvation counts.
+func TestCensorScenarioStillReportsCensorship(t *testing.T) {
+	col := NewCollector()
+	sc := consensus.ScenarioConfig{
+		Name: "censor-targeted", Rounds: 30, Seed: 5,
+		Attack:  consensus.AttackSpec{Censors: 1},
+		OnEvent: col.Record,
+	}
+	net, traffic := sc.Build()
+	if _, err := net.Run(30, traffic); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Detector().Summary()
+	if s.SuspectedCensoredTxs == 0 {
+		t.Fatal("censor scenario raised no censorship suspicion")
+	}
+	if s.StarvedTxs != 0 {
+		t.Errorf("StarvedTxs = %d, want 0: background traffic closes normally under a censor", s.StarvedTxs)
+	}
+	censorID, ok := net.NodeIDOf("censor-1")
+	if !ok {
+		t.Fatal("censor-1 missing from the network")
+	}
+	named := false
+	for _, a := range col.Detector().Alerts() {
+		if a.Kind != AlertCensorship {
+			continue
+		}
+		if a.Node == censorID {
+			named = true
+		} else {
+			t.Errorf("censorship alert blames %s, want censor-1 (%s)", a.Node.Short(), censorID.Short())
+		}
+	}
+	if !named {
+		t.Error("no censorship alert names the censor")
+	}
+}

@@ -58,6 +58,15 @@ func (s *Service) Handler() http.Handler {
 		s.serveCached(w, "ecosystem", &ecoCache, snap.Epoch, snap)
 	}))
 	mux.Handle("GET /v1/deanon/lookup", s.limited("deanon_lookup", s.handleLookup))
+
+	if s.fd != nil {
+		// Front-door endpoints share the admission limiter: a quote storm
+		// cannot starve the snapshot queries and vice versa. Submission
+		// backpressure (queue depth) is the front door's own second gate.
+		mux.Handle("GET /v1/path_find", s.limited("path_find", s.fd.HandlePathFind))
+		mux.Handle("POST /v1/submit", s.limited("submit", s.fd.HandleSubmit))
+		mux.Handle("GET /v1/tx_status", s.limited("tx_status", s.fd.HandleTxStatus))
+	}
 	return mux
 }
 

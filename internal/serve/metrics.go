@@ -181,4 +181,8 @@ func (s *Service) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "serve_query_latency_seconds{endpoint=%q,quantile=\"0.5\"} %.6f\n", name, p50.Seconds())
 		fmt.Fprintf(w, "serve_query_latency_seconds{endpoint=%q,quantile=\"0.99\"} %.6f\n", name, p99.Seconds())
 	}
+
+	if s.fd != nil {
+		s.fd.WriteMetrics(w)
+	}
 }

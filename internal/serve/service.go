@@ -15,6 +15,7 @@ import (
 	"ripplestudy/internal/ledgerstore"
 	"ripplestudy/internal/netstream"
 	"ripplestudy/internal/replay"
+	"ripplestudy/internal/txq"
 )
 
 // defaultWorkers is the parallel-backfill default worker count.
@@ -116,6 +117,10 @@ type Service struct {
 	inflight atomic.Int64
 	rejected atomic.Uint64
 	admit    chan struct{}
+
+	// fd, when attached, adds the online front door (path_find quotes,
+	// transaction submission) to the HTTP API and /metrics.
+	fd *txq.FrontDoor
 
 	// progressCh is closed and replaced on every view seal or drop; the
 	// Drain waiters re-arm on it instead of sleep-polling.
@@ -425,6 +430,16 @@ func (s *Service) Follow(ctx context.Context, addr string, opts netstream.Resili
 	}
 	return client.Stats(), err
 }
+
+// AttachFrontDoor adds a transaction front door to the service: Handler
+// gains /v1/path_find, /v1/submit, and /v1/tx_status (behind the same
+// admission limiter as the query endpoints), and /metrics gains the txq
+// family. Call before Handler. The service does not own the front door;
+// the caller closes it (typically after draining the HTTP server).
+func (s *Service) AttachFrontDoor(fd *txq.FrontDoor) { s.fd = fd }
+
+// FrontDoor returns the attached front door, or nil.
+func (s *Service) FrontDoor() *txq.FrontDoor { return s.fd }
 
 // Tally returns the current Figure 2 snapshot.
 func (s *Service) Tally() *TallySnapshot { return s.tallySnap.Load() }

@@ -1,0 +1,175 @@
+package txq
+
+import (
+	"errors"
+	"testing"
+
+	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
+	"ripplestudy/internal/ledger"
+)
+
+func acct(seed uint64) addr.AccountID { return addr.KeyPairFromSeed(seed).AccountID() }
+
+// mkTx builds a direct XRP payment for queue-ordering tests. Sequence 0
+// marks auto-sequencing.
+func mkTx(from addr.AccountID, seq uint32, fee amount.Drops) *queuedTx {
+	tx := &ledger.Tx{
+		Type:        ledger.TxPayment,
+		Account:     from,
+		Sequence:    seq,
+		Fee:         fee,
+		Destination: acct(999),
+		Amount:      amount.XRPAmount(1000),
+	}
+	return &queuedTx{tx: tx, fee: fee, autoSeq: seq == 0}
+}
+
+func popAll(t *testing.T, q *queue, n int) []*queuedTx {
+	t.Helper()
+	out := q.popBatch(n)
+	if len(out) != n {
+		t.Fatalf("popBatch returned %d txs, want %d", len(out), n)
+	}
+	return out
+}
+
+func TestQueueExplicitSequencesSortAscending(t *testing.T) {
+	q := newQueue()
+	a := acct(1)
+	// Out-of-order arrival: 3, 1, 2 must drain as 1, 2, 3.
+	for _, seq := range []uint32{3, 1, 2} {
+		if err := q.push(mkTx(a, seq, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := popAll(t, q, 3)
+	for i, want := range []uint32{1, 2, 3} {
+		if got[i].tx.Sequence != want {
+			t.Errorf("pop[%d].Sequence = %d, want %d", i, got[i].tx.Sequence, want)
+		}
+	}
+}
+
+func TestQueueExplicitBeforeAutoSequenced(t *testing.T) {
+	q := newQueue()
+	a := acct(1)
+	if err := q.push(mkTx(a, 0, 10)); err != nil { // auto
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(a, 5, 10)); err != nil { // explicit, arrives later
+		t.Fatal(err)
+	}
+	got := popAll(t, q, 2)
+	if got[0].autoSeq || got[0].tx.Sequence != 5 {
+		t.Errorf("explicit sequence must drain before auto-sequenced arrivals")
+	}
+	if !got[1].autoSeq {
+		t.Errorf("auto-sequenced tx must drain last")
+	}
+}
+
+func TestQueueFeeEscalationAcrossAccounts(t *testing.T) {
+	q := newQueue()
+	a, b, c := acct(1), acct(2), acct(3)
+	// a arrives first at fee 10, b later at fee 100, c last at fee 10.
+	if err := q.push(mkTx(a, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(b, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(c, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	got := popAll(t, q, 3)
+	wantOrder := []addr.AccountID{b, a, c} // fee desc, then arrival FIFO
+	for i, want := range wantOrder {
+		if got[i].tx.Account != want {
+			t.Errorf("pop[%d] from wrong account (fee escalation / FIFO tie-break broken)", i)
+		}
+	}
+}
+
+func TestQueueFeeNeverReordersSameAccount(t *testing.T) {
+	q := newQueue()
+	a := acct(1)
+	// Later same-account txs pay 100× the fee; sequence order must hold
+	// anyway — only the account's HEAD competes on fee.
+	if err := q.push(mkTx(a, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(a, 2, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(a, 3, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	got := popAll(t, q, 3)
+	for i, want := range []uint32{1, 2, 3} {
+		if got[i].tx.Sequence != want {
+			t.Errorf("pop[%d].Sequence = %d, want %d (fee escalation reordered one account)", i, got[i].tx.Sequence, want)
+		}
+	}
+}
+
+func TestQueueLateLowSequenceBecomesHead(t *testing.T) {
+	q := newQueue()
+	a, b := acct(1), acct(2)
+	if err := q.push(mkTx(a, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(b, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Sequence 1 arrives late with a high fee: it must both become a's
+	// head AND re-key a in the escalation heap ahead of b.
+	if err := q.push(mkTx(a, 1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	got := popAll(t, q, 3)
+	if got[0].tx.Account != a || got[0].tx.Sequence != 1 {
+		t.Fatalf("first pop is not a's late-arriving sequence 1")
+	}
+	if got[1].tx.Account != a || got[1].tx.Sequence != 2 {
+		t.Fatalf("second pop is not a's sequence 2")
+	}
+	if got[2].tx.Account != b {
+		t.Fatalf("third pop is not b's tx")
+	}
+}
+
+func TestQueueDuplicateSequenceRejected(t *testing.T) {
+	q := newQueue()
+	a := acct(1)
+	if err := q.push(mkTx(a, 7, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(a, 7, 10)); !errors.Is(err, ErrDuplicateSequence) {
+		t.Fatalf("duplicate explicit sequence: err = %v, want ErrDuplicateSequence", err)
+	}
+	if q.size() != 1 {
+		t.Errorf("size = %d after rejected duplicate, want 1", q.size())
+	}
+}
+
+func TestQueueCloseDrainsThenEnds(t *testing.T) {
+	q := newQueue()
+	a := acct(1)
+	if err := q.push(mkTx(a, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkTx(a, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	q.close()
+	if err := q.push(mkTx(a, 3, 10)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: err = %v, want ErrClosed", err)
+	}
+	if got := q.popBatch(10); len(got) != 2 {
+		t.Fatalf("popBatch after close returned %d txs, want the 2 admitted before close", len(got))
+	}
+	if got := q.popBatch(10); got != nil {
+		t.Fatalf("popBatch on closed+drained queue = %v, want nil", got)
+	}
+}
