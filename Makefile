@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos attack bench bench-check fuzz check
+.PHONY: all build vet test race race-mp chaos attack bench bench-check fuzz check
 
 all: check
 
@@ -19,6 +19,14 @@ test:
 # transaction front door (quote readers racing the batch applier).
 race:
 	$(GO) test -race ./internal/netstream/... ./internal/monitor/... ./internal/faultnet/... ./internal/deanon/... ./internal/ledgerstore/... ./internal/serve/... ./internal/replay/... ./internal/txq/... ./internal/integration/...
+
+# Multi-core pipeline pass: the view-pipeline differential suite with
+# GOMAXPROCS pinned above 1, so the sharded apply workers, seal
+# barrier, and cross-shard merges are genuinely concurrent even on a
+# single-core default runner. Everything here must be bit-identical to
+# the single-writer fold.
+race-mp:
+	GOMAXPROCS=4 $(GO) test -race -run 'PipelineWorkersMatchSequentialJSON|ShardPartitionMergeParityJSON|ShardedInc|MergeClonedRepeatable|ViewWorker|Shed|ConcurrentQueries|ParallelBackfillMatchesSequential' ./internal/serve/ ./internal/deanon/ ./internal/analysis/
 
 # Perf trajectory: run the Figure 3 pipeline and store benchmarks with
 # allocation stats and archive them as JSON so future PRs can diff
@@ -80,4 +88,4 @@ chaos:
 attack:
 	$(GO) test -run 'Attack|Scenario|Equivoc|Censor|Delay|Fork|Stall|Detect|Backoff|Benign' ./internal/consensus/ ./internal/monitor/ ./internal/netstream/ ./internal/integration/ ./cmd/consensus-monitor/
 
-check: vet build test race chaos attack
+check: vet build test race race-mp chaos attack

@@ -13,6 +13,12 @@
 // re-measured benchmark names are replaced in place, entries for
 // benchmarks not in this run are kept, and new names append — so one
 // archive can accumulate results from several `go test -bench` passes.
+// Merging keys on the name with the trailing -GOMAXPROCS suffix
+// stripped (a re-measure on a different core count replaces, not
+// duplicates) while go test's #NN same-name dedup suffix is preserved;
+// a stale #NN duplicate whose base name was re-measured without it is
+// dropped, so a collision from an earlier duplicated sweep entry cannot
+// outlive the run that fixed it.
 //
 // With -check, the run is instead compared against an archived baseline
 // and the command fails when any benchmark's ns/op regressed by more
@@ -24,6 +30,11 @@
 // baseline archived on an 8-core runner still gates a 4-core laptop.
 // Benchmarks absent from the baseline are reported but never fail the
 // check (they gate once archived), and improvements are never failures.
+// Sub-benchmarks that sweep pipeline fan-out (".../workers=N") are
+// skipped when N exceeds the fresh run's GOMAXPROCS: an oversubscribed
+// configuration measures scheduler churn, not a regression. The run's
+// GOMAXPROCS is derived from the -N name suffix and archived in the
+// context as "gomaxprocs".
 package main
 
 import (
@@ -99,7 +110,8 @@ func runCheck(in io.Reader, out io.Writer, baselinePath string, tolerance float6
 
 // baseName strips the trailing -GOMAXPROCS suffix go test appends to
 // benchmark names, so archives compare across machines with different
-// core counts.
+// core counts. go test's #NN same-name dedup suffix is kept: two
+// entries that collided in one run are genuinely distinct measurements.
 func baseName(name string) string {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
@@ -111,16 +123,72 @@ func baseName(name string) string {
 	return name[:i]
 }
 
+// dedupRoot strips go test's trailing #NN duplicate-name suffix from an
+// already baseName'd benchmark name.
+func dedupRoot(name string) string {
+	i := strings.LastIndexByte(name, '#')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// nameGomaxprocs reads the -GOMAXPROCS suffix off one benchmark name;
+// go test only appends it when GOMAXPROCS != 1, so no suffix means 1.
+func nameGomaxprocs(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// sweepWorkers extracts N from a ".../workers=N" fan-out sweep
+// sub-benchmark name (GOMAXPROCS suffix already stripped); ok is false
+// for benchmarks that don't sweep worker counts.
+func sweepWorkers(name string) (int, bool) {
+	i := strings.LastIndex(name, "workers=")
+	if i < 0 {
+		return 0, false
+	}
+	digits := name[i+len("workers="):]
+	if j := strings.IndexFunc(digits, func(r rune) bool { return r < '0' || r > '9' }); j >= 0 {
+		digits = digits[:j]
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
 // compare writes one report line per fresh benchmark and returns how
 // many had a baseline ns/op to compare against plus the names that
-// regressed beyond tolerance.
+// regressed beyond tolerance. Worker-sweep sub-benchmarks whose fan-out
+// exceeds the fresh run's GOMAXPROCS are skipped: oversubscribed timing
+// is scheduler noise, not a perf signal.
 func compare(base, fresh *Output, tolerance float64, w io.Writer) (compared int, regressed []string) {
+	maxprocs := 1
+	if n, err := strconv.Atoi(fresh.Context["gomaxprocs"]); err == nil && n > maxprocs {
+		maxprocs = n
+	}
 	baseline := make(map[string]Entry, len(base.Benchmarks))
 	for _, e := range base.Benchmarks {
 		baseline[baseName(e.Name)] = e
 	}
 	for _, e := range fresh.Benchmarks {
 		name := baseName(e.Name)
+		if workers, ok := sweepWorkers(name); ok && workers > maxprocs {
+			fmt.Fprintf(w, "skip: %s (oversubscribed: %d workers on GOMAXPROCS=%d)\n", name, workers, maxprocs)
+			continue
+		}
 		got, okGot := e.Metrics["ns/op"]
 		b, okBase := baseline[name]
 		want, okWant := b.Metrics["ns/op"]
@@ -184,24 +252,43 @@ func readExisting(path string) (*Output, error) {
 
 // merge folds fresh results into a previous archive: re-measured names
 // are replaced in place (keeping their position), new names append, and
-// context keys from the fresh run win.
+// context keys from the fresh run win. Names are keyed with the
+// -GOMAXPROCS suffix stripped, so a re-measure on a different core
+// count replaces its entry instead of duplicating it, while the #NN
+// dedup suffix stays significant. A previous entry whose dedup root was
+// re-measured under a different dedup suffix set (e.g. a stale
+// "workers=1#01" after the sweep stopped duplicating "workers=1") is
+// dropped rather than kept forever.
 func merge(prev, fresh *Output) *Output {
-	merged := &Output{Context: map[string]string{}, Benchmarks: prev.Benchmarks}
+	merged := &Output{Context: map[string]string{}}
 	for k, v := range prev.Context {
 		merged.Context[k] = v
 	}
 	for k, v := range fresh.Context {
 		merged.Context[k] = v
 	}
-	index := make(map[string]int, len(merged.Benchmarks))
-	for i, e := range merged.Benchmarks {
-		index[e.Name] = i
+	freshKeys := make(map[string]bool, len(fresh.Benchmarks))
+	freshRoots := make(map[string]bool, len(fresh.Benchmarks))
+	for _, e := range fresh.Benchmarks {
+		key := baseName(e.Name)
+		freshKeys[key] = true
+		freshRoots[dedupRoot(key)] = true
+	}
+	index := make(map[string]int)
+	for _, e := range prev.Benchmarks {
+		key := baseName(e.Name)
+		if !freshKeys[key] && freshRoots[dedupRoot(key)] {
+			continue // stale duplicate of a re-measured benchmark
+		}
+		index[key] = len(merged.Benchmarks)
+		merged.Benchmarks = append(merged.Benchmarks, e)
 	}
 	for _, e := range fresh.Benchmarks {
-		if i, ok := index[e.Name]; ok {
+		key := baseName(e.Name)
+		if i, ok := index[key]; ok {
 			merged.Benchmarks[i] = e
 		} else {
-			index[e.Name] = len(merged.Benchmarks)
+			index[key] = len(merged.Benchmarks)
 			merged.Benchmarks = append(merged.Benchmarks, e)
 		}
 	}
@@ -234,6 +321,16 @@ func parse(sc *bufio.Scanner) (*Output, error) {
 	if len(out.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
+	// The run's GOMAXPROCS, recovered from the -N name suffix (absent
+	// when GOMAXPROCS=1), archives which fan-outs this machine could
+	// actually exercise.
+	maxprocs := 1
+	for _, e := range out.Benchmarks {
+		if n := nameGomaxprocs(e.Name); n > maxprocs {
+			maxprocs = n
+		}
+	}
+	out.Context["gomaxprocs"] = strconv.Itoa(maxprocs)
 	return out, nil
 }
 

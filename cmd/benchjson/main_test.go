@@ -232,6 +232,110 @@ func TestCheckNewBenchmarksNeverFail(t *testing.T) {
 	}
 }
 
+// TestParseRecordsGomaxprocs pins the context key derived from the -N
+// name suffix: 8 for an 8-core run, 1 when go test omits the suffix.
+func TestParseRecordsGomaxprocs(t *testing.T) {
+	if got := parseString(t, sampleOutput).Context["gomaxprocs"]; got != "8" {
+		t.Fatalf("gomaxprocs = %q, want 8", got)
+	}
+	single := parseString(t, "BenchmarkServeIngestThroughput/workers=1  10  100 ns/op\n")
+	if got := single.Context["gomaxprocs"]; got != "1" {
+		t.Fatalf("gomaxprocs = %q, want 1", got)
+	}
+}
+
+// TestMergeReplacesAcrossCoreCounts: re-measuring on a machine with a
+// different GOMAXPROCS replaces the entry instead of duplicating it.
+func TestMergeReplacesAcrossCoreCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(strings.NewReader("BenchmarkServeLookup-8  1000  100 ns/op\n"), nil, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader("BenchmarkServeLookup-4  1000  90 ns/op\n"), nil, path); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := readExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Benchmarks) != 1 {
+		t.Fatalf("merged %d entries, want 1: %+v", len(merged.Benchmarks), merged.Benchmarks)
+	}
+	if e := merged.Benchmarks[0]; e.Name != "BenchmarkServeLookup-4" || e.Metrics["ns/op"] != 90 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+// TestMergeDropsStaleDedupDuplicates: an archive holding both
+// "workers=1" and go test's "workers=1#01" collision entry loses the
+// stale duplicate once a fresh run measures "workers=1" alone — but a
+// run that still produces both keeps both.
+func TestMergeDropsStaleDedupDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	collided := "BenchmarkServeIngestThroughput/workers=1  10  100 ns/op\n" +
+		"BenchmarkServeIngestThroughput/workers=1#01  10  120 ns/op\n"
+	if err := run(strings.NewReader(collided), nil, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(collided), nil, path); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := readExisting(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Benchmarks) != 2 {
+		t.Fatalf("re-measured collision collapsed: %+v", merged.Benchmarks)
+	}
+
+	fixed := "BenchmarkServeIngestThroughput/workers=1  10  95 ns/op\n"
+	if err := run(strings.NewReader(fixed), nil, path); err != nil {
+		t.Fatal(err)
+	}
+	if merged, err = readExisting(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Benchmarks) != 1 {
+		t.Fatalf("stale #01 duplicate survived the deduplicated run: %+v", merged.Benchmarks)
+	}
+	if e := merged.Benchmarks[0]; e.Name != "BenchmarkServeIngestThroughput/workers=1" || e.Metrics["ns/op"] != 95 {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+// TestCheckSkipsOversubscribedWorkers: a workers=N sweep entry with N
+// beyond the fresh run's GOMAXPROCS must not gate — an oversubscribed
+// pipeline measures scheduler churn — while in-budget fan-outs still
+// compare.
+func TestCheckSkipsOversubscribedWorkers(t *testing.T) {
+	baseline := "BenchmarkServeIngestThroughput/workers=1-8  10  100 ns/op\n" +
+		"BenchmarkServeIngestThroughput/workers=4-8  10  30 ns/op\n"
+	// Fresh run on a single-core machine: no -N suffix, workers=4 badly
+	// oversubscribed. Only workers=1 may gate.
+	fresh := "BenchmarkServeIngestThroughput/workers=1  10  105 ns/op\n" +
+		"BenchmarkServeIngestThroughput/workers=4  10  500 ns/op\n"
+	report, err := checkString(t, baseline, fresh, 20)
+	if err != nil {
+		t.Fatalf("oversubscribed sweep entry failed the check: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "skip: BenchmarkServeIngestThroughput/workers=4 (oversubscribed") {
+		t.Fatalf("report = %q", report)
+	}
+	if !strings.Contains(report, "ok: 1 benchmarks within 20%") {
+		t.Fatalf("report = %q", report)
+	}
+
+	// On a machine with the cores to back it, workers=4 gates again.
+	fresh = "BenchmarkServeIngestThroughput/workers=1-4  10  105 ns/op\n" +
+		"BenchmarkServeIngestThroughput/workers=4-4  10  32 ns/op\n"
+	if report, err = checkString(t, baseline, fresh, 20); err != nil {
+		t.Fatalf("in-budget sweep failed: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "ok: 2 benchmarks within 20%") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
 // TestCheckMissingBaseline errors instead of vacuously passing.
 func TestCheckMissingBaseline(t *testing.T) {
 	var buf bytes.Buffer

@@ -224,7 +224,20 @@ func (c *Collector) AddOffer(owner addr.AccountID) {
 // so merging per-worker collectors from a segment-parallel scan yields
 // exactly the state a single sequential collector would have reached —
 // the property the parallel cmd/ledger-analyze path relies on.
-func (c *Collector) Merge(other *Collector) {
+func (c *Collector) Merge(other *Collector) { c.mergeFrom(other, true) }
+
+// MergeCloned folds another collector's statistics into c like Merge
+// but leaves other untouched and reusable: per-currency histograms are
+// copied, never adopted, so the same source collector can keep
+// accumulating and be merged again later. This is the repeated
+// seal-time merge the serving layer's sharded ecosystem view runs
+// against its persistent per-worker shards.
+func (c *Collector) MergeCloned(other *Collector) { c.mergeFrom(other, false) }
+
+// mergeFrom is the shared merge walk; adopt controls whether histogram
+// pointers first seen under a currency are taken over (cheap,
+// destructive) or deep-copied (repeatable).
+func (c *Collector) mergeFrom(other *Collector, adopt bool) {
 	c.payments += other.payments
 	c.failed += other.failed
 	c.transacts += other.transacts
@@ -237,7 +250,12 @@ func (c *Collector) Merge(other *Collector) {
 	for cur, h := range other.amounts {
 		mine := c.amounts[cur]
 		if mine == nil {
-			c.amounts[cur] = h
+			if adopt {
+				c.amounts[cur] = h
+			} else {
+				cp := *h
+				c.amounts[cur] = &cp
+			}
 			continue
 		}
 		mine.merge(h)

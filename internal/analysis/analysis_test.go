@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"ripplestudy/internal/addr"
@@ -345,5 +346,93 @@ func TestAppendixShapeOnSyntheticHistory(t *testing.T) {
 	}
 	if conc[50] < conc[10] || conc[100] < conc[50] {
 		t.Error("offer concentration not monotone in k")
+	}
+}
+
+// collectorFingerprint reduces a collector's externally visible state to
+// one comparable value: every accessor a snapshot consumer reads.
+func collectorFingerprint(c *Collector) map[string]any {
+	return map[string]any{
+		"payments":    c.Payments(),
+		"failed":      c.FailedPayments(),
+		"multiHop":    c.MultiHopPayments(),
+		"offers":      c.TotalOffers(),
+		"active":      c.ActiveAccounts(),
+		"currencies":  c.CurrencyHistogram(),
+		"hops":        c.HopHistogram(),
+		"parallel":    c.ParallelHistogram(),
+		"survival":    c.Survival(amount.Currency{}, true, DefaultSurvivalGrid()),
+		"survivalBTC": c.Survival(amount.BTC, false, DefaultSurvivalGrid()),
+		"conc":        c.OfferConcentration([]int{10, 50, 100}),
+		"fees":        c.TotalFees(),
+	}
+}
+
+// TestMergeClonedRepeatable pins the shard/merge lifecycle the serving
+// layer's sharded ecosystem view runs: per-shard collectors keep
+// accumulating across repeated MergeCloned merges, and each merged
+// result equals the sequential fold of the same prefix — so the merge
+// neither corrupts the sources (Merge would: it adopts histogram
+// pointers) nor drifts from the single-writer answer.
+func TestMergeClonedRepeatable(t *testing.T) {
+	var pages []*ledger.Page
+	_, err := synth.Generate(synth.Config{
+		Payments: 4000, Seed: 17, SkipSignatures: true,
+	}, func(p *ledger.Page) error {
+		pages = append(pages, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	shard := make([]*Collector, shards)
+	for i := range shard {
+		shard[i] = NewCollector()
+	}
+	seq := NewCollector()
+
+	cuts := []int{len(pages) / 4, len(pages) / 2, len(pages)}
+	prev := 0
+	for _, cut := range cuts {
+		for i, p := range pages[prev:cut] {
+			if err := shard[(prev+i)%shards].Page(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := seq.Page(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = cut
+		// Merge the live shards into a fresh collector — repeatedly, one
+		// merge per cut, shards never reset.
+		merged := NewCollector()
+		for _, sh := range shard {
+			merged.MergeCloned(sh)
+		}
+		got, want := collectorFingerprint(merged), collectorFingerprint(seq)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: merged state diverges from sequential fold\ngot  %+v\nwant %+v", cut, got, want)
+		}
+	}
+
+	// Destructive-merge cross-check: Merge over clones of nothing — the
+	// classic batch path — must agree with MergeCloned's answer.
+	adopted := NewCollector()
+	fresh := make([]*Collector, shards)
+	for i := range fresh {
+		fresh[i] = NewCollector()
+	}
+	for i, p := range pages {
+		if err := fresh[i%shards].Page(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sh := range fresh {
+		adopted.Merge(sh)
+	}
+	if !reflect.DeepEqual(collectorFingerprint(adopted), collectorFingerprint(seq)) {
+		t.Fatal("destructive Merge diverges from sequential fold")
 	}
 }

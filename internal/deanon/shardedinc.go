@@ -3,6 +3,7 @@ package deanon
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ShardedIncStudy is the incrementally-maintained counterpart of Study,
@@ -33,12 +34,17 @@ type ShardedIncStudy struct {
 	plan        *FingerprintPlan
 	shift       uint
 	shards      []*incShard
-	payments    int
+	// payments is atomic so concurrent IncFeeder producers can count
+	// observations without a lock and seal-gate heuristics can read the
+	// running total from a coordinator goroutine.
+	payments atomic.Int64
 
-	// pending is the producer-side batch per shard; dirty marks shards
-	// that received observations since the last Seal.
+	// pending is the single-producer batch per shard; dirty marks shards
+	// that received observations since the last Seal. dirty is atomic so
+	// multiple IncFeeder producers can mark shards concurrently; it is
+	// read and cleared only at Seal, with every producer quiescent.
 	pending [][]obsEntry
-	dirty   []bool
+	dirty   []atomic.Bool
 
 	// sealed[sh] is shard sh's tables as of its last dirty Seal —
 	// immutable clones shared with every snapshot taken since.
@@ -110,7 +116,7 @@ func NewShardedIncStudy(resolutions []Resolution, shardBits int) *ShardedIncStud
 	s.fps = make([]Fingerprint, 0, len(s.resolutions))
 	n := 1 << shardBits
 	s.pending = make([][]obsEntry, n)
-	s.dirty = make([]bool, n)
+	s.dirty = make([]atomic.Bool, n)
 	s.sealed = make([][]*countTable, n)
 	for i := 0; i < n; i++ {
 		sh := &incShard{ch: make(chan incMsg, 4), ack: make(chan struct{}, 1)}
@@ -165,8 +171,10 @@ func (s *ShardedIncStudy) Shards() int { return len(s.shards) }
 // Resolutions returns the study's resolution rows, in order.
 func (s *ShardedIncStudy) Resolutions() []Resolution { return s.resolutions }
 
-// Payments returns the number of observations folded in.
-func (s *ShardedIncStudy) Payments() int { return s.payments }
+// Payments returns the number of observations folded in. It is safe to
+// call concurrently with feeder intake; the count is monotone and may
+// trail in-flight observations by at most a batch.
+func (s *ShardedIncStudy) Payments() int { return int(s.payments.Load()) }
 
 // Plan returns the study's compiled fingerprint plan, for producers
 // that precompute fingerprints upstream (the serving layer's projection
@@ -178,24 +186,97 @@ func (s *ShardedIncStudy) Plan() *FingerprintPlan { return s.plan }
 // counts. Like every mutating method it must only be called from the
 // single producer goroutine.
 func (s *ShardedIncStudy) ObserveFingerprints(fps []Fingerprint) {
-	s.payments++
+	s.payments.Add(1)
 	if s.inline {
 		// Single shard: the producer is the sole writer — count in place.
 		counts := s.shards[0].counts
 		for i, fp := range fps {
 			counts[i].incr(fp)
 		}
-		s.dirty[0] = true
+		s.dirty[0].Store(true)
 		return
 	}
 	for i, fp := range fps {
 		sh := int(uint64(fp) >> s.shift)
 		s.pending[sh] = append(s.pending[sh], obsEntry{res: uint16(i), fp: fp})
-		s.dirty[sh] = true
+		s.dirty[sh].Store(true)
 		if len(s.pending[sh]) == cap(s.pending[sh]) {
 			s.shards[sh].ch <- incMsg{entries: s.pending[sh]}
 			s.pending[sh] = s.getBatch()
 		}
+	}
+}
+
+// IncFeeder is a per-producer intake for a ShardedIncStudy: each
+// concurrent producer goroutine owns one feeder and routes observations
+// into private per-shard batches, so a counting shard receives one
+// coalesced batch per flush instead of per-record handoffs and the
+// producers never contend on shared batch state. Shard channels are the
+// only cross-producer rendezvous, and Go channels are multi-producer
+// safe; counts are order-insensitive sums, so interleaving batches from
+// different feeders cannot change any sealed result.
+//
+// A feeder is single-goroutine: ObserveFingerprints and Flush must not
+// be called concurrently on the SAME feeder. Flush must be called on
+// every feeder — with all producers quiescent — before the coordinator
+// calls Seal, or buffered observations miss the snapshot.
+type IncFeeder struct {
+	study   *ShardedIncStudy
+	pending [][]obsEntry
+}
+
+// Feeders prepares n concurrent intakes. It must be called before any
+// observation: it permanently switches the study out of the inline
+// single-writer fast path (starting the shard goroutines a 1-shard
+// study otherwise skips), because with multiple producers even one
+// shard needs a channel-owned writer.
+func (s *ShardedIncStudy) Feeders(n int) []*IncFeeder {
+	if s.inline {
+		s.inline = false
+		for _, sh := range s.shards {
+			s.wg.Add(1)
+			go s.runShard(sh)
+		}
+	}
+	out := make([]*IncFeeder, n)
+	for i := range out {
+		f := &IncFeeder{study: s, pending: make([][]obsEntry, len(s.shards))}
+		for sh := range f.pending {
+			f.pending[sh] = s.getBatch()
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// ObserveFingerprints folds one payment's precomputed fingerprints into
+// the feeder's per-shard batches, handing full batches to the owning
+// shard goroutine.
+func (f *IncFeeder) ObserveFingerprints(fps []Fingerprint) {
+	s := f.study
+	s.payments.Add(1)
+	for i, fp := range fps {
+		sh := int(uint64(fp) >> s.shift)
+		f.pending[sh] = append(f.pending[sh], obsEntry{res: uint16(i), fp: fp})
+		if len(f.pending[sh]) == cap(f.pending[sh]) {
+			s.dirty[sh].Store(true)
+			s.shards[sh].ch <- incMsg{entries: f.pending[sh]}
+			f.pending[sh] = s.getBatch()
+		}
+	}
+}
+
+// Flush hands every buffered batch to its shard. The shard is marked
+// dirty before the send so a following Seal barriers on it.
+func (f *IncFeeder) Flush() {
+	s := f.study
+	for sh, buf := range f.pending {
+		if len(buf) == 0 {
+			continue
+		}
+		s.dirty[sh].Store(true)
+		s.shards[sh].ch <- incMsg{entries: buf}
+		f.pending[sh] = s.getBatch()
 	}
 }
 
@@ -215,7 +296,7 @@ func (s *ShardedIncStudy) barrier() {
 		return // no worker goroutine; the tables are already quiescent
 	}
 	for sh, buf := range s.pending {
-		if !s.dirty[sh] {
+		if !s.dirty[sh].Load() {
 			continue
 		}
 		msg := incMsg{sync: true}
@@ -226,7 +307,7 @@ func (s *ShardedIncStudy) barrier() {
 		s.shards[sh].ch <- msg
 	}
 	for sh := range s.shards {
-		if s.dirty[sh] {
+		if s.dirty[sh].Load() {
 			<-s.shards[sh].ack
 		}
 	}
@@ -239,7 +320,7 @@ func (s *ShardedIncStudy) barrier() {
 func (s *ShardedIncStudy) Seal() *IncSnapshot {
 	s.barrier()
 	for sh := range s.shards {
-		if !s.dirty[sh] {
+		if !s.dirty[sh].Load() {
 			continue
 		}
 		tables := make([]*countTable, len(s.resolutions))
@@ -247,14 +328,14 @@ func (s *ShardedIncStudy) Seal() *IncSnapshot {
 			tables[r] = t.clone()
 		}
 		s.sealed[sh] = tables
-		s.dirty[sh] = false
+		s.dirty[sh].Store(false)
 	}
 	snap := &IncSnapshot{
 		resolutions: s.resolutions,
 		shift:       s.shift,
 		tables:      make([][]*countTable, len(s.sealed)),
 		unique:      make([]int, len(s.resolutions)),
-		payments:    s.payments,
+		payments:    int(s.payments.Load()),
 		empty:       s.empty,
 	}
 	copy(snap.tables, s.sealed)

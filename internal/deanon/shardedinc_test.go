@@ -158,6 +158,70 @@ func TestShardedIncUnseenLookups(t *testing.T) {
 	}
 }
 
+// TestShardedIncFeedersMatchSingleProducer drives the multi-producer
+// feeder intake from concurrent goroutines — including the 1-shard
+// configuration whose inline fast path Feeders must disable — and pins
+// every sealed answer to the single-producer reference over the same
+// stream. Mid-stream seals interleave with live producers after a
+// quiescent Flush, the serving layer's merge pattern; run under -race.
+func TestShardedIncFeedersMatchSingleProducer(t *testing.T) {
+	feats := randomFeatures(4000, 53)
+	ref := NewShardedIncStudy(Figure3Rows, 2)
+	defer ref.Close()
+	for _, f := range feats {
+		ref.Observe(f)
+	}
+	want := ref.Seal()
+
+	for _, shardBits := range []int{0, 2} {
+		for _, producers := range []int{1, 3} {
+			inc := NewShardedIncStudy(Figure3Rows, shardBits)
+			feeders := inc.Feeders(producers)
+
+			// Split the stream across producers in contiguous chunks; the
+			// counts are order-insensitive sums so any partition must seal
+			// to the same answers.
+			var wg sync.WaitGroup
+			per := (len(feats) + producers - 1) / producers
+			for p := 0; p < producers; p++ {
+				lo, hi := p*per, (p+1)*per
+				if hi > len(feats) {
+					hi = len(feats)
+				}
+				wg.Add(1)
+				go func(fd *IncFeeder, chunk []Features) {
+					defer wg.Done()
+					var fps []Fingerprint
+					for _, f := range chunk {
+						enc := EncodeFeatures(f)
+						fps = enc.AppendFingerprints(inc.Plan(), fps[:0])
+						fd.ObserveFingerprints(fps)
+					}
+				}(feeders[p], feats[lo:hi])
+			}
+			wg.Wait()
+			for _, fd := range feeders {
+				fd.Flush()
+			}
+			snap := inc.Seal()
+			if snap.Payments() != want.Payments() {
+				t.Fatalf("bits=%d producers=%d: payments %d != %d", shardBits, producers, snap.Payments(), want.Payments())
+			}
+			if !reflect.DeepEqual(snap.Results(), want.Results()) {
+				t.Fatalf("bits=%d producers=%d: results diverge\ngot  %+v\nwant %+v", shardBits, producers, snap.Results(), want.Results())
+			}
+			for _, f := range feats[:300] {
+				for row := range Figure3Rows {
+					if a, b := snap.Lookup(row, f), want.Lookup(row, f); a != b {
+						t.Fatalf("bits=%d producers=%d row=%d: lookup %d != %d", shardBits, producers, row, a, b)
+					}
+				}
+			}
+			inc.Close()
+		}
+	}
+}
+
 // TestShardedIncConcurrentReaders hammers sealed snapshots from reader
 // goroutines while the producer keeps observing and sealing — the
 // serving pattern, run under -race in CI.

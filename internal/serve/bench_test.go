@@ -117,12 +117,22 @@ func BenchmarkServeIngestThroughput(b *testing.B) {
 	}
 	defer st.Close()
 
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+	// Sweep the pipeline fan-out: 1 is the single-writer baseline, the
+	// fixed points let archives from different machines compare like for
+	// like, and GOMAXPROCS is the full-machine configuration. Dedup keeps
+	// the archived sub-benchmark names distinct on any core count.
+	sweep := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range sweep {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
-				s := NewService(Options{})
+				s := NewService(Options{PipelineWorkers: workers})
 				if err := s.BackfillStore(context.Background(), st, workers); err != nil {
 					b.Fatal(err)
 				}

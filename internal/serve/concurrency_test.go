@@ -168,10 +168,12 @@ func TestDropModeCountsAndDegrades(t *testing.T) {
 	release := make(chan struct{})
 	first := make(chan struct{})
 	var once sync.Once
-	w := newViewWorker("test", 1, 1, false, func(update) {
-		once.Do(func() { close(first) })
-		<-release
-	}, func(uint64) {}, nil, nil)
+	w := newViewWorker(viewConfig{name: "test", queue: 1, batch: 1,
+		apply: func(int, update) {
+			once.Do(func() { close(first) })
+			<-release
+		},
+		publish: func(uint64) {}})
 	w.offer(update{}) // worker picks this up and blocks in apply
 	<-first
 	w.offer(update{}) // fills the 1-slot inbox

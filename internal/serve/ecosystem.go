@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync/atomic"
+
 	"ripplestudy/internal/amount"
 	"ripplestudy/internal/analysis"
 )
@@ -59,6 +61,70 @@ func (e *ecosystemState) snapshot(epoch, appliedSeq uint64) *EcosystemSnapshot {
 		Parallel:           e.col.ParallelHistogram(),
 		OfferConcentration: e.col.OfferConcentration([]int{10, 50, 100}),
 	}
+}
+
+// ecoShards is the Figures 4–6 view sharded for the multi-worker
+// pipeline: each apply worker folds records into its own
+// analysis.Collector, and the seal merges them — MergeCloned into a
+// fresh collector, leaving the per-worker shards accumulating — before
+// building the snapshot. Every collector statistic is an
+// order-insensitive sum or union, so any partition of the record stream
+// merges to the state a sequential fold reaches (the property
+// analysis.Merge already pins for the segment-parallel batch scan).
+type ecoShards struct {
+	shards []*ecosystemState
+	// pages counts records folded across all shards; atomic because the
+	// sealer reads it for the publish gate without a barrier (it is a
+	// heuristic, exactness is not needed).
+	pages atomic.Uint64
+	// lastSealPages is the folded page count the previous seal covered.
+	// Sealer-goroutine only.
+	lastSealPages uint64
+}
+
+func newEcoShards(n int) *ecoShards {
+	if n < 1 {
+		n = 1
+	}
+	e := &ecoShards{shards: make([]*ecosystemState, n)}
+	for i := range e.shards {
+		e.shards[i] = newEcosystemState()
+	}
+	return e
+}
+
+func (e *ecoShards) apply(shard int, rec *pageRecord) {
+	e.shards[shard].apply(rec)
+	e.pages.Add(1)
+}
+
+// sealDue spaces merged publishes geometrically under sustained load:
+// a merge clones every shard's histograms and account sets — O(view
+// state), not O(batch) — so requiring the folded page count to double
+// since the previous seal bounds total merge traffic at ≤2× the final
+// state, the same discipline the fingerprint view applies to its shard
+// clones. Ring-dry and shutdown seals bypass the gate, so idle epochs
+// stay fresh and Drain always completes. Only wired at workers>1; the
+// single-worker view publishes on the classic batch cadence.
+func (e *ecoShards) sealDue() bool {
+	return e.pages.Load() >= 2*e.lastSealPages
+}
+
+// snapshot merges the shards and seals the derived histograms. At
+// workers>1 it runs under the seal barrier (or after shutdown), so the
+// shard collectors are quiescent. With a single shard it degenerates to
+// that shard's own snapshot — no merge, no clone.
+func (e *ecoShards) snapshot(epoch, appliedSeq uint64) *EcosystemSnapshot {
+	e.lastSealPages = e.pages.Load()
+	if len(e.shards) == 1 {
+		return e.shards[0].snapshot(epoch, appliedSeq)
+	}
+	merged := newEcosystemState()
+	for _, sh := range e.shards {
+		merged.col.MergeCloned(sh.col)
+		merged.pages += sh.pages
+	}
+	return merged.snapshot(epoch, appliedSeq)
 }
 
 // SurvivalCurve is one labelled Figure 5 curve.

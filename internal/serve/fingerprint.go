@@ -20,9 +20,16 @@ import (
 // over the same pages.
 type fingerprintState struct {
 	study *deanon.ShardedIncStudy
-	rows  int
+	// feeders are the per-pipeline-worker intakes at workers>1: each
+	// apply worker batches observations through its own feeder, so a
+	// count shard receives one coalesced batch per flush instead of
+	// contended per-record handoffs. nil at workers==1 (the study's
+	// single-producer path, including its inline 1-shard fast path).
+	feeders []*deanon.IncFeeder
+	rows    int
 	// lastSealPayments is the study size the previous seal covered;
-	// sealDue compares against it. Worker-goroutine only.
+	// sealDue compares against it. Written only by the sealing
+	// goroutine (the view worker at workers==1, the sealer otherwise).
 	lastSealPayments int
 }
 
@@ -47,12 +54,33 @@ func (f *fingerprintState) plan() *deanon.FingerprintPlan { return f.study.Plan(
 // shards reports the count-shard fan-out, for metrics.
 func (f *fingerprintState) shards() int { return f.study.Shards() }
 
+// attachFeeders switches the view to multi-producer intake, one feeder
+// per pipeline worker. Must run before any apply; it disables the
+// study's inline fast path.
+func (f *fingerprintState) attachFeeders(n int) {
+	f.feeders = f.study.Feeders(n)
+}
+
 // apply folds one projected page in: the record's fingerprint slab
 // holds rows fingerprints per payment, already in the study's row
 // order.
 func (f *fingerprintState) apply(rec *pageRecord) {
 	for off := 0; off < len(rec.fps); off += f.rows {
 		f.study.ObserveFingerprints(rec.fps[off : off+f.rows])
+	}
+}
+
+// applyShard is apply for the multi-worker pipeline: observations route
+// through the calling worker's own feeder, which only that worker (and
+// the sealer, under barrier) touches.
+func (f *fingerprintState) applyShard(shard int, rec *pageRecord) {
+	if f.feeders == nil {
+		f.apply(rec)
+		return
+	}
+	fd := f.feeders[shard]
+	for off := 0; off < len(rec.fps); off += f.rows {
+		fd.ObserveFingerprints(rec.fps[off : off+f.rows])
 	}
 }
 
@@ -73,6 +101,12 @@ func (f *fingerprintState) sealDue() bool {
 // Copy-on-publish touches only the shards that changed since the last
 // seal; unchanged shards share their previous clones.
 func (f *fingerprintState) snapshot(epoch, appliedSeq uint64) *FingerprintSnapshot {
+	// At workers>1 this runs with every apply worker paused (seal
+	// barrier) or stopped (shutdown), so flushing their feeders here is
+	// single-threaded by construction.
+	for _, fd := range f.feeders {
+		fd.Flush()
+	}
 	snap := f.study.Seal()
 	f.lastSealPayments = snap.Payments()
 	return &FingerprintSnapshot{

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strconv"
 	"strings"
@@ -175,9 +176,22 @@ func TestMetricsExposition(t *testing.T) {
 		"serve_query_latency_seconds{endpoint=\"validators\",quantile=\"0.99\"}",
 		"serve_http_rejected_total 0",
 		"serve_ingest_idle_seconds",
+		fmt.Sprintf("serve_pipeline_workers %d", s.opts.PipelineWorkers),
+		"serve_view_last_merge_seconds{view=\"fig3_fingerprints\"}",
+		"serve_view_shard_queue_depth{view=\"fig2_tally\",shard=\"0\"} 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+	// Every pipeline shard must expose its ring depth gauge, whatever
+	// the worker fan-out this machine defaults to.
+	for _, vw := range s.views {
+		for i := range vw.shardDepths() {
+			want := fmt.Sprintf("serve_view_shard_queue_depth{view=%q,shard=\"%d\"}", vw.name, i)
+			if !strings.Contains(body, want) {
+				t.Errorf("metrics missing %q", want)
+			}
 		}
 	}
 }

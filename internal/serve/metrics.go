@@ -129,6 +129,8 @@ func (s *Service) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "serve_ingest_batch_pages_total %d\n", s.ingestBatchPages.Load())
 	fmt.Fprintf(w, "# HELP serve_fingerprint_shards Single-writer count shards behind the fingerprint view.\n")
 	fmt.Fprintf(w, "serve_fingerprint_shards %d\n", s.fpState.shards())
+	fmt.Fprintf(w, "# HELP serve_pipeline_workers Apply workers (state shards and rings) per view pipeline.\n")
+	fmt.Fprintf(w, "serve_pipeline_workers %d\n", s.opts.PipelineWorkers)
 	fmt.Fprintf(w, "# HELP serve_dropped_events_total Events lost: undecodable page payloads plus view-queue overflow drops.\n")
 	fmt.Fprintf(w, "serve_dropped_events_total %d\n", h.DroppedEvents)
 	fmt.Fprintf(w, "# HELP serve_stream_last_seq Highest stream sequence seen from the network.\n")
@@ -160,9 +162,19 @@ func (s *Service) writeMetrics(w io.Writer) {
 	for _, vw := range s.views {
 		fmt.Fprintf(w, "serve_view_seals_total{view=%q} %d\n", vw.name, vw.seals.Load())
 	}
-	fmt.Fprintf(w, "# HELP serve_view_last_seal_seconds Duration of each view's most recent snapshot publish (the fingerprint view's is the shard scatter-gather seal).\n")
+	fmt.Fprintf(w, "# HELP serve_view_last_seal_seconds Duration of each view's most recent snapshot publish (at PipelineWorkers>1, the full barrier: pause, merge, release).\n")
 	for _, vw := range s.views {
 		fmt.Fprintf(w, "serve_view_last_seal_seconds{view=%q} %.6f\n", vw.name, time.Duration(vw.sealNanos.Load()).Seconds())
+	}
+	fmt.Fprintf(w, "# HELP serve_view_last_merge_seconds Duration of each view's most recent shard merge and snapshot build alone.\n")
+	for _, vw := range s.views {
+		fmt.Fprintf(w, "serve_view_last_merge_seconds{view=%q} %.6f\n", vw.name, time.Duration(vw.mergeNanos.Load()).Seconds())
+	}
+	fmt.Fprintf(w, "# HELP serve_view_shard_queue_depth Update batches queued in each view shard's ring.\n")
+	for _, vw := range s.views {
+		for i, d := range vw.shardDepths() {
+			fmt.Fprintf(w, "serve_view_shard_queue_depth{view=%q,shard=\"%d\"} %d\n", vw.name, i, d)
+		}
 	}
 
 	fmt.Fprintf(w, "# HELP serve_http_inflight In-flight HTTP requests.\n")

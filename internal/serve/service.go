@@ -44,6 +44,12 @@ type Options struct {
 	// 1 pins the sequential single-writer baseline. Default: the
 	// smallest power of two covering GOMAXPROCS.
 	FingerprintShards int
+	// PipelineWorkers is the apply fan-out of every view pipeline: each
+	// view keeps that many state shards, each owned by one goroutine fed
+	// over its own bounded ring, merged into one snapshot at seal.
+	// 1 pins the classic single-writer view (apply and publish on one
+	// goroutine, no barriers). Default: GOMAXPROCS, capped at 64.
+	PipelineWorkers int
 	// NonBlocking switches ingest fan-out from backpressure (lossless;
 	// the differential-test configuration) to drop-on-full
 	// (load-shedding, counted per view and in DroppedEvents).
@@ -70,6 +76,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IngestBatchPages <= 0 {
 		o.IngestBatchPages = defaultIngestBatch
+	}
+	if o.PipelineWorkers <= 0 {
+		o.PipelineWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.PipelineWorkers > 64 {
+		o.PipelineWorkers = 64
 	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = 64
@@ -141,35 +153,68 @@ func NewService(opts Options) *Service {
 		progressCh: make(chan struct{}),
 	}
 
-	tally := newTallyState(opts.ValidatorLabels)
-	s.tallyW = newViewWorker("fig2_tally", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
-		func(u update) { tally.apply(*u.ev) },
-		func(epoch uint64) { s.tallySnap.Store(tally.snapshot(epoch, seqOf(s.tallyW))) },
-		s.notifyProgress, nil)
+	workers := opts.PipelineWorkers
+
+	tally := newTallyShards(opts.ValidatorLabels, workers)
+	s.tallyW = newViewWorker(viewConfig{
+		name:    "fig2_tally",
+		workers: workers,
+		queue:   opts.QueueSize,
+		batch:   opts.PublishBatch,
+		block:   !opts.NonBlocking,
+		apply:   func(shard int, u update) { tally.apply(shard, *u.ev) },
+		route:   tallyRoute,
+		publish: func(epoch uint64) { s.tallySnap.Store(tally.snapshot(epoch, seqOf(s.tallyW))) },
+		notify:  s.notifyProgress,
+	})
 
 	fp := newFingerprintState(opts.FingerprintShards)
+	if workers > 1 {
+		fp.attachFeeders(workers)
+	}
 	s.fpState = fp
 	s.proj = newProjector(fp.plan())
-	s.fpW = newViewWorker("fig3_fingerprints", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
-		func(u update) {
+	s.fpW = newViewWorker(viewConfig{
+		name:    "fig3_fingerprints",
+		workers: workers,
+		queue:   opts.QueueSize,
+		batch:   opts.PublishBatch,
+		block:   !opts.NonBlocking,
+		apply: func(shard int, u update) {
 			if u.rec != nil {
-				fp.apply(u.rec)
+				fp.applyShard(shard, u.rec)
 				u.rec.unref()
 			}
 		},
-		func(epoch uint64) { s.fpSnap.Store(fp.snapshot(epoch, seqOf(s.fpW))) },
-		s.notifyProgress, fp.sealDue)
+		publish: func(epoch uint64) { s.fpSnap.Store(fp.snapshot(epoch, seqOf(s.fpW))) },
+		notify:  s.notifyProgress,
+		sealDue: fp.sealDue,
+	})
 
-	eco := newEcosystemState()
-	s.ecoW = newViewWorker("fig4to6_ecosystem", opts.QueueSize, opts.PublishBatch, !opts.NonBlocking,
-		func(u update) {
+	eco := newEcoShards(workers)
+	var ecoGate func() bool
+	if workers > 1 {
+		// The merged publish clones every shard's state; gate it
+		// geometrically like the fingerprint view. The single-worker
+		// snapshot is clone-free, so it keeps the classic cadence.
+		ecoGate = eco.sealDue
+	}
+	s.ecoW = newViewWorker(viewConfig{
+		name:    "fig4to6_ecosystem",
+		workers: workers,
+		queue:   opts.QueueSize,
+		batch:   opts.PublishBatch,
+		block:   !opts.NonBlocking,
+		apply: func(shard int, u update) {
 			if u.rec != nil {
-				eco.apply(u.rec)
+				eco.apply(shard, u.rec)
 				u.rec.unref()
 			}
 		},
-		func(epoch uint64) { s.ecoSnap.Store(eco.snapshot(epoch, seqOf(s.ecoW))) },
-		s.notifyProgress, nil)
+		publish: func(epoch uint64) { s.ecoSnap.Store(eco.snapshot(epoch, seqOf(s.ecoW))) },
+		notify:  s.notifyProgress,
+		sealDue: ecoGate,
+	})
 
 	s.views = []*viewWorker{s.tallyW, s.fpW, s.ecoW}
 	return s
@@ -241,8 +286,18 @@ func (s *Service) IngestPage(p *ledger.Page) error {
 }
 
 // IngestPages folds a batch of sealed pages into the page views with
-// one queue operation per view per IngestBatchPages pages.
+// one queue operation per view per IngestBatchPages pages. When the
+// pipeline has multiple workers and the batch is large enough to
+// amortize the goroutine fan-out, projection itself runs in parallel:
+// contiguous chunks of pages are projected by PipelineWorkers
+// goroutines, each feeding the view rings through its own batcher.
+// Every view statistic is order-insensitive, so the interleaving cannot
+// change any sealed snapshot.
 func (s *Service) IngestPages(pages []*ledger.Page) error {
+	workers := s.opts.PipelineWorkers
+	if workers > 1 && len(pages) >= 2*s.opts.IngestBatchPages {
+		return s.ingestPagesParallel(pages, workers)
+	}
 	b := s.newBatcher()
 	for _, p := range pages {
 		rec := newPageRecord(pageViews)
@@ -252,6 +307,44 @@ func (s *Service) IngestPages(pages []*ledger.Page) error {
 		}
 	}
 	return b.flush()
+}
+
+// ingestPagesParallel is the multi-worker IngestPages body: chunked
+// parallel projection with per-goroutine batchers.
+func (s *Service) ingestPagesParallel(pages []*ledger.Page, workers int) error {
+	chunk := (len(pages) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g*chunk < len(pages); g++ {
+		lo, hi := g*chunk, (g+1)*chunk
+		if hi > len(pages) {
+			hi = len(pages)
+		}
+		wg.Add(1)
+		go func(g int, chunk []*ledger.Page) {
+			defer wg.Done()
+			b := s.newBatcher()
+			for _, p := range chunk {
+				rec := newPageRecord(pageViews)
+				s.proj.fromPage(p, rec)
+				if err := b.add(rec); err != nil {
+					// add only fails once the service is closed, and the
+					// failing flush already released the flushed records;
+					// nothing is left buffered.
+					errs[g] = err
+					return
+				}
+			}
+			errs[g] = b.flush()
+		}(g, pages[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ingestPageBatch is the shared back half of every page ingest path:
@@ -458,6 +551,8 @@ type ViewHealth struct {
 	AppliedEvents uint64 `json:"applied_events"`
 	Lag           uint64 `json:"ingest_lag_events"`
 	Dropped       uint64 `json:"dropped_events"`
+	// Shards is the view's pipeline fan-out (state shards / rings).
+	Shards int `json:"shards"`
 }
 
 // HealthReport summarizes the service for /healthz.
@@ -495,6 +590,7 @@ func (s *Service) Health() HealthReport {
 			AppliedEvents: w.applied.Load(),
 			Lag:           w.lag(),
 			Dropped:       w.dropped.Load(),
+			Shards:        w.workerCount(),
 		})
 	}
 	h.DroppedEvents = dropped

@@ -14,10 +14,12 @@ func TestViewWorkerShedAccounting(t *testing.T) {
 	release := make(chan struct{})
 	first := make(chan struct{})
 	var once sync.Once
-	w := newViewWorker("test", 2, 4, false, func(update) {
-		once.Do(func() { close(first) })
-		<-release
-	}, func(uint64) {}, nil, nil)
+	w := newViewWorker(viewConfig{name: "test", queue: 2, batch: 4,
+		apply: func(int, update) {
+			once.Do(func() { close(first) })
+			<-release
+		},
+		publish: func(uint64) {}})
 
 	w.offer(update{}) // worker blocks in apply
 	<-first

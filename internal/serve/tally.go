@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"encoding/binary"
+
 	"ripplestudy/internal/addr"
 	"ripplestudy/internal/consensus"
 	"ripplestudy/internal/ledger"
@@ -106,6 +108,91 @@ func (t *tallyState) displayName(node addr.NodeID) string {
 		return l
 	}
 	return node.Short()
+}
+
+// tallyShards is the Figure 2 view sharded for the multi-worker
+// pipeline: each apply worker owns one full tallyState, and events are
+// routed by ledger hash (tallyRoute), so a page's validations, its
+// close event, its pending index entry, and its validPages bit all
+// colocate on one shard. Within a hash the validation/close interplay
+// commutes (a validation credits immediately after the close, or at the
+// close if it signed first — either way total and valid both advance),
+// and across hashes every statistic is an order-insensitive sum, so the
+// merged snapshot is bit-identical to a sequential fold of the same
+// events in any order.
+type tallyShards struct {
+	shards []*tallyState
+}
+
+func newTallyShards(labels map[addr.NodeID]string, n int) *tallyShards {
+	if n < 1 {
+		n = 1
+	}
+	t := &tallyShards{shards: make([]*tallyState, n)}
+	for i := range t.shards {
+		t.shards[i] = newTallyState(labels)
+	}
+	return t
+}
+
+// tallyRoute keys an update to the shard owning its ledger hash.
+// Malformed events (zero hash, or no event at all) quarantine on shard
+// 0; the worker reduces the key modulo the shard count.
+func tallyRoute(u *update) uint64 {
+	if u.ev == nil || u.ev.LedgerHash.IsZero() {
+		return 0
+	}
+	return binary.BigEndian.Uint64(u.ev.LedgerHash[:8])
+}
+
+func (t *tallyShards) apply(shard int, ev consensus.Event) { t.shards[shard].apply(ev) }
+
+// snapshot merges the shards into one immutable TallySnapshot — the
+// deterministic cross-shard reconciliation at seal. Per-validator
+// counters and event counts are plain sums; Rounds sums the disjoint
+// per-shard validPages sets (each hash lives on exactly one shard).
+// With a single shard it degenerates to that shard's own snapshot.
+func (t *tallyShards) snapshot(epoch, appliedSeq uint64) *TallySnapshot {
+	if len(t.shards) == 1 {
+		return t.shards[0].snapshot(epoch, appliedSeq)
+	}
+	totals := make(map[addr.NodeID]int)
+	valids := make(map[addr.NodeID]int)
+	badSigs := make(map[addr.NodeID]int)
+	rounds, events, malformed := 0, 0, 0
+	for _, sh := range t.shards {
+		for node, n := range sh.totals {
+			totals[node] += n
+		}
+		for node, n := range sh.valids {
+			valids[node] += n
+		}
+		for node, n := range sh.badSigs {
+			badSigs[node] += n
+		}
+		rounds += len(sh.validPages)
+		events += sh.events
+		malformed += sh.malformed
+	}
+	stats := make([]monitor.ValidatorStats, 0, len(totals))
+	for node, total := range totals {
+		stats = append(stats, monitor.ValidatorStats{
+			Node:          node,
+			Label:         t.shards[0].displayName(node),
+			Total:         total,
+			Valid:         valids[node],
+			BadSignatures: badSigs[node],
+		})
+	}
+	monitor.SortStats(stats)
+	return &TallySnapshot{
+		Epoch:      epoch,
+		AppliedSeq: appliedSeq,
+		Rounds:     rounds,
+		Events:     events,
+		Malformed:  malformed,
+		Validators: stats,
+	}
 }
 
 // TallySnapshot is one sealed epoch of the Figure 2 view.

@@ -7,20 +7,33 @@
 // histograms for Figs. 4–6), and answers queries from immutable epoch
 // snapshots over an HTTP JSON API (cmd/ripple-serve).
 //
-// Concurrency model: every view is owned by exactly one writer
-// goroutine fed over a bounded channel (single-writer principle — the
-// view's mutable state needs no locks). Ingest projects each page once
-// at the front door (project.go) into an owned record and fans the
-// record out in batches, so queue operations, channel wakeups, and
-// bookkeeping amortize over IngestBatchPages updates instead of one.
-// Readers never touch mutable state: each publish seals an immutable
-// copy-on-publish snapshot behind an atomic pointer and bumps the
-// view's epoch, so queries never block ingestion and ingestion never
-// blocks queries. Publishes happen whenever a view's inbox runs dry
-// (fresh epochs under light load) and at least every PublishBatch
-// updates (amortized snapshot cost under heavy load) — but never in
-// the middle of an ingest batch, so a snapshot always covers whole
-// batches.
+// Concurrency model: every view is a pipeline of PipelineWorkers apply
+// goroutines, each owning a private shard of the view's mutable state
+// and fed over its own bounded ring (single-writer principle per shard
+// — no locks on the hot path). With one worker the pipeline degenerates
+// to the classic single-writer view: one goroutine, one inbox, applies
+// and publishes in the same loop. With more, ingest routes update
+// batches across the rings (by content where shard affinity matters —
+// the tally view keys on ledger hash so a page's validations and its
+// close land on the same shard — round-robin otherwise), and a sealer
+// goroutine periodically pauses the workers at a barrier, merges the
+// shards into one immutable snapshot, publishes it, and releases them.
+// Merges are deterministic (every view statistic is an
+// order-insensitive sum or union), so any routing yields snapshots
+// bit-identical to the sequential fold — the property the differential
+// tests pin.
+//
+// Ingest projects each page once at the front door (project.go) into an
+// owned record and fans the record out in batches, so queue operations,
+// channel wakeups, and bookkeeping amortize over IngestBatchPages
+// updates instead of one. Readers never touch mutable state: each
+// publish seals an immutable copy-on-publish snapshot behind an atomic
+// pointer and bumps the view's epoch, so queries never block ingestion
+// and ingestion never blocks queries. Publishes happen whenever a
+// view's rings run dry (fresh epochs under light load) and at least
+// every PublishBatch updates (amortized snapshot cost under heavy load)
+// — but never in the middle of an ingest batch, so a snapshot always
+// covers whole batches.
 package serve
 
 import (
@@ -64,23 +77,60 @@ func putUpdateBatch(b []update) {
 	batchPool.Put(&b)
 }
 
-// sealGrace is how long a view waits on a dry inbox before paying for
-// a publish. Under sustained ingest the producer refills the inbox well
+// sealGrace is how long a view waits on dry rings before paying for a
+// publish. Under sustained ingest the producer refills the rings well
 // inside the grace window, so snapshots coalesce to PublishBatch
 // boundaries instead of sealing once per scheduler pass; on a genuinely
 // idle stream the epoch is still fresh within half a millisecond.
 const sealGrace = 500 * time.Microsecond
 
-// viewWorker is the single-writer machinery shared by all views: a
-// bounded inbox of update batches drained by one goroutine that applies
-// updates to the view's private state and publishes immutable
-// snapshots.
+// viewConfig describes one materialized view's pipeline.
+type viewConfig struct {
+	name string
+	// workers is the apply fan-out: the number of state shards, rings,
+	// and goroutines. 1 is the single-writer baseline.
+	workers int
+	// queue is the view's total ring budget in batches, split evenly
+	// across the workers' rings.
+	queue int
+	// batch is the most applied updates between publishes under load.
+	batch int
+	// block selects backpressure (true) or drop-and-count (false) when
+	// a ring is full.
+	block bool
+	// apply folds one update into the given shard's private state. Shard
+	// i is only ever touched by worker i (or by publish, under barrier).
+	apply func(shard int, u update)
+	// route (optional) picks the shard for an update when affinity
+	// matters; the worker reduces it modulo workers. nil routes whole
+	// batches round-robin — correct for any view whose shards partition
+	// arbitrarily. In routed mode offerBatch owns all cleanup (see
+	// offerBatch).
+	route func(u *update) uint64
+	// publish merges the shards (workers>1: called with every worker
+	// paused at the seal barrier, so it may read all shard state) and
+	// stores the immutable epoch snapshot.
+	publish func(epoch uint64)
+	// notify (optional) fires after every seal and drop; Drain waiters
+	// key off it.
+	notify func()
+	// sealDue (optional) gates batch-boundary seals for views whose
+	// publish cost grows with state size; ring-dry and shutdown seals
+	// bypass it.
+	sealDue func() bool
+}
+
+// viewWorker is the pipeline machinery shared by all views: bounded
+// per-shard rings drained by apply goroutines, plus (at workers>1) a
+// sealer goroutine that barriers the workers and publishes merged
+// immutable snapshots.
 type viewWorker struct {
 	name    string
-	in      chan []update
-	apply   func(update)
+	ins     []chan []update // one ring per shard/worker
+	apply   func(shard int, u update)
+	route   func(u *update) uint64
 	publish func(epoch uint64)
-	notify  func() // progress signal: fired after every seal and drop
+	notify  func()
 	sealDue func() bool
 	batch   int
 	block   bool
@@ -93,46 +143,98 @@ type viewWorker struct {
 	appliedSeq atomic.Uint64 // highest ledger sequence applied
 	streamSeq  atomic.Uint64 // highest stream sequence applied
 	seals      atomic.Uint64 // publishes since start (excluding bootstrap)
-	sealNanos  atomic.Int64  // duration of the latest publish
+	sealNanos  atomic.Int64  // duration of the latest seal (barrier + merge at workers>1)
+	mergeNanos atomic.Int64  // duration of the latest merge+publish alone
 
+	rr atomic.Uint64 // round-robin ring cursor for unrouted batches
+
+	// Single-worker machinery.
 	done chan struct{}
+
+	// Multi-worker machinery: the sealer pauses worker i by sending a
+	// release channel over barriers[i]; the worker acks on acks and
+	// blocks until the release channel closes. progress (capacity 1,
+	// non-blocking send) wakes the sealer after applied batches; one
+	// buffered token is enough — the sealer re-reads the counters on
+	// every wake, so a coalesced signal never loses a state change.
+	barriers   []chan chan struct{}
+	acks       chan struct{}
+	progress   chan struct{}
+	stopSeal   chan struct{}
+	sealerDone chan struct{}
+	applyWG    sync.WaitGroup
 }
 
-// newViewWorker starts a view. publish(0) is called synchronously before
-// any update so queries always find a (possibly empty) snapshot. notify
-// (optional) is invoked after every seal and every dropped batch — the
-// service's Drain waiters key off it. sealDue (optional) further gates
-// batch-boundary seals: a view whose publish cost grows with its state
-// (the fingerprint view clones every dirty count shard) uses it to space
-// publishes geometrically under sustained load, keeping total
-// copy-on-publish traffic linear in ingest instead of quadratic.
-// Inbox-dry and shutdown seals ignore the gate, so idle epochs stay
-// fresh and Drain always completes.
-func newViewWorker(name string, queue, batch int, block bool, apply func(update), publish func(epoch uint64), notify func(), sealDue func() bool) *viewWorker {
-	if queue < 1 {
-		queue = 1
+// newViewWorker starts a view pipeline. publish(0) is called
+// synchronously before any update so queries always find a (possibly
+// empty) snapshot.
+func newViewWorker(cfg viewConfig) *viewWorker {
+	if cfg.workers < 1 {
+		cfg.workers = 1
 	}
-	if batch < 1 {
-		batch = 1
+	if cfg.queue < cfg.workers {
+		cfg.queue = cfg.workers
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
 	}
 	w := &viewWorker{
-		name:    name,
-		in:      make(chan []update, queue),
-		apply:   apply,
-		publish: publish,
-		notify:  notify,
-		sealDue: sealDue,
-		batch:   batch,
-		block:   block,
-		done:    make(chan struct{}),
+		name:    cfg.name,
+		apply:   cfg.apply,
+		route:   cfg.route,
+		publish: cfg.publish,
+		notify:  cfg.notify,
+		sealDue: cfg.sealDue,
+		batch:   cfg.batch,
+		block:   cfg.block,
+	}
+	perRing := cfg.queue / cfg.workers
+	w.ins = make([]chan []update, cfg.workers)
+	for i := range w.ins {
+		w.ins[i] = make(chan []update, perRing)
 	}
 	w.publish(0)
-	go w.run()
+	if cfg.workers == 1 {
+		w.done = make(chan struct{})
+		go w.run()
+		return w
+	}
+	w.barriers = make([]chan chan struct{}, cfg.workers)
+	for i := range w.barriers {
+		w.barriers[i] = make(chan chan struct{}, 1)
+	}
+	w.acks = make(chan struct{}, cfg.workers)
+	w.progress = make(chan struct{}, 1)
+	w.stopSeal = make(chan struct{})
+	w.sealerDone = make(chan struct{})
+	for i := 0; i < cfg.workers; i++ {
+		w.applyWG.Add(1)
+		go w.runShardWorker(i)
+	}
+	go w.runSealer()
 	return w
 }
 
+// workerCount reports the apply fan-out.
+func (w *viewWorker) workerCount() int { return len(w.ins) }
+
+// shardDepths reports each ring's current occupancy in batches, for
+// /metrics. Channel length reads are racy by nature; the gauges are
+// instantaneous load indicators, not accounting.
+func (w *viewWorker) shardDepths() []int {
+	out := make([]int, len(w.ins))
+	for i, in := range w.ins {
+		out[i] = len(in)
+	}
+	return out
+}
+
+// run is the single-worker loop: apply and publish on one goroutine,
+// no barriers — the baseline the multi-worker pipeline is pinned
+// against.
 func (w *viewWorker) run() {
 	defer close(w.done)
+	in := w.ins[0]
 	sinceLast := 0
 	seal := func() {
 		if sinceLast == 0 {
@@ -140,7 +242,9 @@ func (w *viewWorker) run() {
 		}
 		start := time.Now()
 		w.publish(w.epoch.Add(1))
-		w.sealNanos.Store(int64(time.Since(start)))
+		d := int64(time.Since(start))
+		w.sealNanos.Store(d)
+		w.mergeNanos.Store(d)
 		w.seals.Add(1)
 		// Published; everything applied so far is now visible to readers.
 		w.sealed.Store(w.applied.Load())
@@ -157,11 +261,11 @@ func (w *viewWorker) run() {
 		var b []update
 		var ok bool
 		select {
-		case b, ok = <-w.in:
+		case b, ok = <-in:
 		default:
 			if sinceLast == 0 {
 				// Nothing unpublished: just wait for work.
-				b, ok = <-w.in
+				b, ok = <-in
 				break
 			}
 			// Inbox dry with updates pending: give the producer a grace
@@ -172,13 +276,13 @@ func (w *viewWorker) run() {
 			// traffic.
 			grace.Reset(sealGrace)
 			select {
-			case b, ok = <-w.in:
+			case b, ok = <-in:
 				if !grace.Stop() {
 					<-grace.C
 				}
 			case <-grace.C:
 				seal()
-				b, ok = <-w.in
+				b, ok = <-in
 			}
 		}
 		if !ok {
@@ -189,7 +293,7 @@ func (w *viewWorker) run() {
 		}
 		for i := range b {
 			u := &b[i]
-			w.apply(*u)
+			w.apply(0, *u)
 			if u.seq > 0 {
 				w.bumpSeq(&w.appliedSeq, u.seq)
 			}
@@ -208,12 +312,137 @@ func (w *viewWorker) run() {
 	}
 }
 
-// bumpSeq raises a monotonic gauge to at least v. Only the worker
-// goroutine writes it, but parallel backfills interleave segments, so
-// "highest seen" — not "last seen" — is the meaningful value.
+// runShardWorker is one multi-worker apply loop: drain the shard's ring
+// into its private state, nudge the sealer, and park at the barrier
+// when a seal is in progress.
+func (w *viewWorker) runShardWorker(i int) {
+	defer w.applyWG.Done()
+	in := w.ins[i]
+	for {
+		select {
+		case release := <-w.barriers[i]:
+			w.acks <- struct{}{}
+			<-release
+		case b, ok := <-in:
+			if !ok {
+				// Shutdown: the sealer is already stopped (close stops it
+				// before closing the rings), so no barrier can be pending.
+				return
+			}
+			for j := range b {
+				u := &b[j]
+				w.apply(i, *u)
+				if u.seq > 0 {
+					w.bumpSeq(&w.appliedSeq, u.seq)
+				}
+				if u.streamSeq > 0 {
+					w.bumpSeq(&w.streamSeq, u.streamSeq)
+				}
+			}
+			w.applied.Add(uint64(len(b)))
+			putUpdateBatch(b)
+			select {
+			case w.progress <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// runSealer decides when a multi-worker view publishes: at least every
+// batch applied updates once the publish-cost gate agrees, or — gate
+// bypassed — whenever the rings run dry for a sealGrace window, so idle
+// epochs stay fresh and Drain always completes. Each seal is a
+// stop-the-world barrier over the apply workers; the counters the
+// sealer reads are exact at the barrier because every worker has acked
+// (and therefore finished its in-flight batch) before the merge runs.
+func (w *viewWorker) runSealer() {
+	defer close(w.sealerDone)
+	grace := time.NewTimer(sealGrace)
+	if !grace.Stop() {
+		<-grace.C
+	}
+	for {
+		select {
+		case <-w.stopSeal:
+			return
+		case <-w.progress:
+		}
+	decide:
+		for {
+			applied, sealed := w.applied.Load(), w.sealed.Load()
+			if applied == sealed {
+				break
+			}
+			if applied-sealed >= uint64(w.batch) && (w.sealDue == nil || w.sealDue()) {
+				w.sealBarrier()
+				continue
+			}
+			if w.lag() > 0 {
+				// More work is already queued; wait for it to apply
+				// rather than splitting a producer's batch train.
+				break
+			}
+			// Rings dry with unpublished updates: grace-wait, then seal
+			// if still dry (gate bypassed — the stream paused).
+			grace.Reset(sealGrace)
+			select {
+			case <-w.stopSeal:
+				if !grace.Stop() {
+					<-grace.C
+				}
+				return
+			case <-w.progress:
+				if !grace.Stop() {
+					<-grace.C
+				}
+				continue
+			case <-grace.C:
+				if w.lag() == 0 {
+					w.sealBarrier()
+					continue
+				}
+				break decide
+			}
+		}
+	}
+}
+
+// sealBarrier pauses every apply worker, merges and publishes the
+// shards as one epoch, and releases them. Only the sealer calls it.
+func (w *viewWorker) sealBarrier() {
+	start := time.Now()
+	release := make(chan struct{})
+	for i := range w.barriers {
+		w.barriers[i] <- release
+	}
+	for range w.barriers {
+		<-w.acks
+	}
+	// All workers paused: applied is exact and the shard state is
+	// quiescent for the merge.
+	applied := w.applied.Load()
+	mergeStart := time.Now()
+	w.publish(w.epoch.Add(1))
+	w.mergeNanos.Store(int64(time.Since(mergeStart)))
+	w.seals.Add(1)
+	w.sealed.Store(applied)
+	close(release)
+	w.sealNanos.Store(int64(time.Since(start)))
+	if w.notify != nil {
+		w.notify()
+	}
+}
+
+// bumpSeq raises a monotonic gauge to at least v. Apply workers race on
+// it (parallel backfills and shard workers interleave segments), so the
+// CAS loop keeps "highest seen" — a plain load/store pair could regress
+// the gauge when two workers interleave.
 func (w *viewWorker) bumpSeq(g *atomic.Uint64, v uint64) {
-	if v > g.Load() {
-		g.Store(v)
+	for cur := g.Load(); v > cur; cur = g.Load() {
+		if g.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -231,13 +460,18 @@ func (w *viewWorker) offer(u update) bool {
 	return true
 }
 
-// offerBatch hands a batch of updates to the view. On success the view
-// owns the slice (it is recycled after apply). Blocking mode applies
-// backpressure (lossless, the differential-test configuration);
-// non-blocking mode drops the whole batch and counts its updates when
-// the inbox is full (load-shedding for live serving where falling
-// behind the stream is worse than a coarser view). On failure the
-// CALLER still owns the slice — and the records it references.
+// offerBatch hands a batch of updates to the view. Blocking mode
+// applies backpressure (lossless, the differential-test configuration);
+// non-blocking mode drops on a full ring and counts the loss
+// (load-shedding for live serving where falling behind the stream is
+// worse than a coarser view).
+//
+// Ownership: in unrouted mode (route == nil) a true return transfers
+// the slice to the view; on false the CALLER still owns the slice — and
+// the records it references. In routed mode the view always takes
+// ownership: the batch is split per shard, full rings shed their
+// sub-batch internally (records unreferenced, drops counted and
+// notified), and offerBatch always returns true.
 func (w *viewWorker) offerBatch(b []update) bool {
 	n := uint64(len(b))
 	if n == 0 {
@@ -245,21 +479,85 @@ func (w *viewWorker) offerBatch(b []update) bool {
 		return true
 	}
 	w.offered.Add(n)
-	if w.block {
-		w.in <- b
+	if w.route == nil || len(w.ins) == 1 {
+		in := w.ins[0]
+		if len(w.ins) > 1 {
+			// Any partition of the stream merges to the same snapshot, so
+			// unrouted batches just round-robin across the rings, keeping
+			// each batch intact (one ring drain applies it whole).
+			in = w.ins[int(w.rr.Add(1)-1)%len(w.ins)]
+		}
+		if w.block {
+			in <- b
+			return true
+		}
+		select {
+		case in <- b:
+			return true
+		default:
+			w.dropped.Add(n)
+			// A drop can complete a Drain target (dropped updates never
+			// seal), so it must wake waiters too.
+			if w.notify != nil {
+				w.notify()
+			}
+			return false
+		}
+	}
+	// Routed: split the batch into per-shard sub-batches so updates with
+	// shard affinity (the tally view's per-ledger-hash state) land where
+	// their state lives. The fast path — every update routes to the same
+	// shard, always true for the one-element batches the event path
+	// offers — forwards the original slice untouched.
+	first := int(w.route(&b[0]) % uint64(len(w.ins)))
+	split := false
+	for i := 1; i < len(b); i++ {
+		if int(w.route(&b[i])%uint64(len(w.ins))) != first {
+			split = true
+			break
+		}
+	}
+	if !split {
+		w.sendRouted(first, b)
 		return true
 	}
+	subs := make([][]update, len(w.ins))
+	for i := range b {
+		sh := int(w.route(&b[i]) % uint64(len(w.ins)))
+		if subs[sh] == nil {
+			subs[sh] = getUpdateBatch()
+		}
+		subs[sh] = append(subs[sh], b[i])
+	}
+	putUpdateBatch(b)
+	for sh, sub := range subs {
+		if sub != nil {
+			w.sendRouted(sh, sub)
+		}
+	}
+	return true
+}
+
+// sendRouted delivers one routed sub-batch to its shard ring, shedding
+// it internally when the ring is full in non-blocking mode.
+func (w *viewWorker) sendRouted(sh int, sub []update) {
+	if w.block {
+		w.ins[sh] <- sub
+		return
+	}
 	select {
-	case w.in <- b:
-		return true
+	case w.ins[sh] <- sub:
 	default:
-		w.dropped.Add(n)
-		// A drop can complete a Drain target (dropped updates never
-		// seal), so it must wake waiters too.
+		w.dropped.Add(uint64(len(sub)))
+		for i := range sub {
+			if sub[i].rec != nil {
+				sub[i].rec.unref()
+			}
+		}
+		putUpdateBatch(sub)
 		if w.notify != nil {
 			w.notify()
 		}
-		return false
 	}
 }
 
@@ -269,9 +567,34 @@ func (w *viewWorker) lag() uint64 {
 	return w.offered.Load() - w.applied.Load() - w.dropped.Load()
 }
 
-// close drains the inbox, publishes the final epoch, and waits for the
-// worker to exit. The caller must guarantee no concurrent offer.
+// close drains the rings, publishes the final epoch, and stops the
+// pipeline goroutines. The caller must guarantee no concurrent offer.
+// Order matters at workers>1: the sealer stops first so no barrier can
+// target an exited worker, then the rings close and drain, then the
+// final merge runs on the caller's goroutine — every shard is quiescent
+// by then.
 func (w *viewWorker) close() {
-	close(w.in)
-	<-w.done
+	if len(w.ins) == 1 && w.done != nil {
+		close(w.ins[0])
+		<-w.done
+		return
+	}
+	close(w.stopSeal)
+	<-w.sealerDone
+	for _, in := range w.ins {
+		close(in)
+	}
+	w.applyWG.Wait()
+	if applied := w.applied.Load(); applied != w.sealed.Load() {
+		start := time.Now()
+		w.publish(w.epoch.Add(1))
+		d := int64(time.Since(start))
+		w.mergeNanos.Store(d)
+		w.sealNanos.Store(d)
+		w.seals.Add(1)
+		w.sealed.Store(applied)
+		if w.notify != nil {
+			w.notify()
+		}
+	}
 }
