@@ -46,8 +46,10 @@ bench:
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance $(TOLERANCE) < bench_serve.out
 	$(GO) run ./cmd/benchjson -out BENCH_serve.json < bench_serve.out
 	@echo "wrote BENCH_serve.json"
-	$(GO) test -run '^$$' -bench 'Table2Replay|Pathfind' -benchmem . | tee bench_replay.out
+	$(GO) test -run '^$$' -bench 'Table2Replay|Pathfind|CheckpointResume' -benchmem . | tee bench_replay.out
 	$(GO) run ./cmd/benchjson -out BENCH_replay.json < bench_replay.out
+	$(GO) test -run '^$$' -bench 'Shamap' -benchmem ./internal/shamap | tee bench_shamap.out
+	$(GO) run ./cmd/benchjson -out BENCH_replay.json < bench_shamap.out
 	@echo "wrote BENCH_replay.json"
 	$(GO) test -run '^$$' -bench 'ConsensusRound' -benchmem ./internal/consensus | tee bench_consensus.out
 	$(GO) run ./cmd/benchjson -out BENCH_consensus.json < bench_consensus.out
@@ -67,15 +69,20 @@ bench-check:
 	$(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance $(TOLERANCE) < bench_serve.out
 	$(GO) test -run '^$$' -bench 'TxqFrontDoor' -benchmem ./internal/txq | tee bench_txq.out
 	$(GO) run ./cmd/benchjson -check BENCH_txq.json -tolerance $(TOLERANCE) < bench_txq.out
+	$(GO) test -run '^$$' -bench 'CheckpointResume' -benchmem . | tee bench_ckpt.out
+	$(GO) run ./cmd/benchjson -check BENCH_replay.json -tolerance $(TOLERANCE) < bench_ckpt.out
 
 # Fuzz smoke: brief randomized exploration of the zero-copy decode
-# surfaces (the in-place payment scan and the arena page decoder),
+# surfaces (the in-place payment scan and the arena page decoder), the
+# nodestore record framing, and the state-tree operation sequences —
 # beyond their seeded corpora. CI runs the same targets with a short
 # -fuzztime; run them longer locally when touching the codec.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzScanPayments$$' -fuzztime $(FUZZTIME) ./internal/ledger
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodePageInto$$' -fuzztime $(FUZZTIME) ./internal/ledger
+	$(GO) test -run '^$$' -fuzz 'FuzzNodeDecode$$' -fuzztime $(FUZZTIME) ./internal/nodestore
+	$(GO) test -run '^$$' -fuzz 'FuzzShamapOps$$' -fuzztime $(FUZZTIME) ./internal/shamap
 
 # Short chaos pass: fault injection, resilience, and the degraded-stream
 # integration test.

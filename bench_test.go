@@ -378,6 +378,71 @@ func BenchmarkTable2Replay(b *testing.B) {
 	})
 }
 
+// BenchmarkCheckpointResume measures what the state-tree checkpoint
+// sidecar buys: rebuilding the full engine state from a disk store cold
+// (replaying every page) versus resuming from the nearest persisted
+// checkpoint (loading the sealed tree and replaying only the tail).
+// Both paths end in the same StateDigest — the resume differential
+// tests pin that — so the ratio of the two ns/op numbers is pure
+// replay-work saved.
+func BenchmarkCheckpointResume(b *testing.B) {
+	pages, _ := history(b)
+	last := pages[len(pages)-1].Header.Sequence
+	dir := b.TempDir()
+	store, err := ledgerstore.Create(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pages {
+		if err := store.Append(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.SegmentRanges(); err != nil {
+		b.Fatal(err) // warm the sequence index sidecar
+	}
+
+	// Seed the checkpoint sidecar once; 8 checkpoints across the history
+	// leave a short tail past the last one.
+	every := uint64(len(pages) / 8)
+	if every == 0 {
+		every = 1
+	}
+	ref, err := replay.BuildStateOpts(store, last, replay.BuildOptions{CheckpointEvery: every, DisableResume: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantDigest := ref.StateDigest()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := replay.BuildStateOpts(store, last, replay.BuildOptions{DisableResume: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if eng.StateDigest() != wantDigest {
+				b.Fatal("cold rebuild digest diverged")
+			}
+		}
+		b.ReportMetric(float64(len(pages)), "pages/op")
+	})
+	b.Run("resume", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng, err := replay.BuildStateOpts(store, last, replay.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if eng.StateDigest() != wantDigest {
+				b.Fatal("resumed rebuild digest diverged")
+			}
+		}
+		b.ReportMetric(float64(len(pages)), "pages/op")
+	})
+}
+
 // BenchmarkPathfind measures the scratch-workspace BFS router on credit
 // networks of increasing breadth and depth. With the dense-index
 // workspace, steady-state searches allocate only the returned plan.

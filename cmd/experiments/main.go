@@ -34,15 +34,16 @@ func main() {
 	storeDir := flag.String("store", "", "persist/reuse the history in this ledgerstore directory")
 	only := flag.String("only", "", "run a single experiment: fig2|table1|fig3|fig4|fig5|fig6|table2|fig7|mitigation|incentives|spamcost|overlap|dos|window|attacks")
 	workers := flag.Int("workers", 0, "parallel scan/study workers for the de-anonymization pipeline (0 = GOMAXPROCS)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write state-tree checkpoints every N pages during store replays (0 = resume only, never write)")
 	flag.Parse()
 
-	if err := run(*payments, *seed, *rounds, *storeDir, *only, *workers); err != nil {
+	if err := run(*payments, *seed, *rounds, *storeDir, *only, *workers, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(payments int, seed int64, rounds int, storeDir, only string, workers int) error {
+func run(payments int, seed int64, rounds int, storeDir, only string, workers int, ckptEvery uint64) error {
 	want := func(name string) bool { return only == "" || only == name }
 
 	if want("fig2") {
@@ -84,6 +85,7 @@ func run(payments int, seed int64, rounds int, storeDir, only string, workers in
 		return err
 	}
 	ds.SetWorkers(workers)
+	ds.SetCheckpointEvery(ckptEvery)
 	st, err := ds.Stats()
 	if err != nil {
 		return err

@@ -20,15 +20,16 @@ func main() {
 	storeDir := flag.String("store", "history", "ledgerstore directory")
 	topK := flag.Int("top", 50, "intermediaries to list (Figure 7)")
 	workers := flag.Int("workers", 0, "parallel segment-scan workers (0 = GOMAXPROCS)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write state-tree checkpoints every N pages during replays (0 = resume only, never write)")
 	flag.Parse()
 
-	if err := run(*storeDir, *topK, *workers); err != nil {
+	if err := run(*storeDir, *topK, *workers, *ckptEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "ledger-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(storeDir string, topK, workers int) error {
+func run(storeDir string, topK, workers int, ckptEvery uint64) error {
 	store, err := ledgerstore.Open(storeDir)
 	if err != nil {
 		return err
@@ -62,6 +63,7 @@ func run(storeDir string, topK, workers int) error {
 		return err
 	}
 	ds.SetWorkers(workers)
+	ds.SetCheckpointEvery(ckptEvery)
 	st, err := ds.Stats()
 	if err != nil {
 		return err

@@ -52,6 +52,7 @@ type txqFlags struct {
 	batch        int
 	backpressure bool
 	cache        int
+	ckptEvery    uint64
 }
 
 func main() {
@@ -75,6 +76,7 @@ func main() {
 	flag.IntVar(&tq.batch, "txq-batch", 256, "transactions per optimistic planning batch")
 	flag.BoolVar(&tq.backpressure, "txq-backpressure", false, "make /v1/submit wait for queue space instead of shedding with 503")
 	flag.IntVar(&tq.cache, "txq-cache", 4096, "path-plan quote cache entries")
+	flag.Uint64Var(&tq.ckptEvery, "checkpoint-every", 0, "write state-tree checkpoints every N pages during the txq engine rebuild (0 = resume only, never write)")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -149,8 +151,11 @@ func run(listen, connect, storeDir, period string, workers, retries int, stall t
 				return fmt.Errorf("txq: %w", serr)
 			}
 			if ok {
+				// The rebuild resumes from the store's checkpoint sidecar
+				// when one is present (and optionally refreshes it), so a
+				// restart fast-forwards instead of replaying all history.
 				start := time.Now()
-				eng, serr = replay.BuildState(st, last)
+				eng, serr = replay.BuildStateOpts(st, last, replay.BuildOptions{CheckpointEvery: tq.ckptEvery})
 				if serr != nil {
 					return fmt.Errorf("txq: rebuilding engine state: %w", serr)
 				}

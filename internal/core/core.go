@@ -39,6 +39,11 @@ type Config struct {
 	// Workers caps the scan/study parallelism of the de-anonymization
 	// pipeline; 0 means GOMAXPROCS.
 	Workers int
+	// CheckpointEvery, when nonzero on a disk-backed dataset, makes the
+	// replay-based experiments persist sealed state-tree checkpoints every
+	// N pages into the store's sidecar, and resume from the nearest one on
+	// later runs. Zero still resumes from any checkpoints already present.
+	CheckpointEvery uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +208,17 @@ func TableI() []string { return deanon.TableISpec() }
 // SetWorkers overrides the de-anonymization pipeline's parallelism
 // (0 restores the GOMAXPROCS default).
 func (ds *Dataset) SetWorkers(n int) { ds.cfg.Workers = n }
+
+// SetCheckpointEvery adjusts the checkpoint cadence after opening a
+// dataset (flags on the cmd binaries go through here).
+func (ds *Dataset) SetCheckpointEvery(n uint64) { ds.cfg.CheckpointEvery = n }
+
+// buildOpts resolves the replay options the dataset's experiments use:
+// write checkpoints at the configured cadence, resume from whatever the
+// sidecar already holds.
+func (ds *Dataset) buildOpts() replay.BuildOptions {
+	return replay.BuildOptions{CheckpointEvery: ds.cfg.CheckpointEvery}
+}
 
 // workers resolves the configured parallelism.
 func (ds *Dataset) workers() int {
@@ -416,7 +432,7 @@ func (ds *Dataset) Figure7(k int) ([]analysis.Intermediary, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := replay.BuildState(ds.source, last)
+		eng, err := replay.BuildStateOpts(ds.source, last, ds.buildOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -456,7 +472,7 @@ func (ds *Dataset) TableII(snapshotFraction float64) (*replay.Result, error) {
 	}
 	// Optimistic-parallel replay is pinned bit-identical to replay.Run by
 	// the differential tests, so the experiment can always take it.
-	return replay.RunParallel(ds.source, snap, ds.workers())
+	return replay.RunParallelOpts(ds.source, snap, ds.workers(), ds.buildOpts())
 }
 
 // Mitigation runs the §V wallet-splitting countermeasure study over the

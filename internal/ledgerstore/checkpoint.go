@@ -1,0 +1,160 @@
+// Checkpoint sidecar: alongside the page segments (and seqindex.json),
+// a store directory may carry a `checkpoints/` subdirectory holding
+// sealed replay state. Each checkpoint is a pair of files named by the
+// page sequence it was sealed at:
+//
+//	cp-%016d.nodes  — nodestore batch: the state-tree nodes NEW since
+//	                  the previous checkpoint (content-addressed records,
+//	                  see internal/nodestore framing)
+//	cp-%016d.json   — manifest: the sealed root, the engine scalars the
+//	                  tree cannot carry (the history-chained StateDigest),
+//	                  and integrity counts for the nodes file
+//
+// Batches are incremental: reconstructing the tree at checkpoint N
+// requires the union of every cp-*.nodes with sequence ≤ N (missing or
+// damaged batches fail the load, and the replayer falls back to a cold
+// rebuild). The manifest is written atomically (tmp + rename) AFTER its
+// nodes file is synced, so a manifest's existence implies a complete
+// batch.
+package ledgerstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/nodestore"
+)
+
+// CheckpointDirName is the sidecar subdirectory inside a store dir.
+const CheckpointDirName = "checkpoints"
+
+// CheckpointDir returns the store's checkpoint sidecar path (which may
+// not exist yet).
+func (s *Store) CheckpointDir() string { return filepath.Join(s.dir, CheckpointDirName) }
+
+// CheckpointMeta is one checkpoint's manifest.
+type CheckpointMeta struct {
+	// Seq is the page sequence the checkpoint was sealed after: replaying
+	// every transaction in pages ≤ Seq produces exactly this state.
+	Seq uint64 `json:"seq"`
+	// Root is the sealed state-tree root.
+	Root ledger.Hash `json:"root"`
+	// StateDigest is the engine's history-chained digest at Seq. It is
+	// not derivable from the tree, so the manifest carries it.
+	StateDigest ledger.Hash `json:"state_digest"`
+	// TotalDrops and FeesDestroyed cross-check the tree's meta leaf.
+	TotalDrops    uint64 `json:"total_drops"`
+	FeesDestroyed int64  `json:"fees_destroyed"`
+	// NewNodes and NodesBytes describe the sibling .nodes batch; the
+	// loader rejects batches whose size disagrees.
+	NewNodes   int   `json:"new_nodes"`
+	NodesBytes int64 `json:"nodes_bytes"`
+}
+
+func checkpointBase(seq uint64) string { return fmt.Sprintf("cp-%016d", seq) }
+func checkpointNodesPath(dir string, seq uint64) string {
+	return filepath.Join(dir, checkpointBase(seq)+".nodes")
+}
+func checkpointMetaPath(dir string, seq uint64) string {
+	return filepath.Join(dir, checkpointBase(seq)+".json")
+}
+
+// WriteCheckpoint persists one checkpoint into dir (created on demand):
+// emit streams the new tree nodes into the batch file, then the
+// manifest commits the checkpoint atomically. A checkpoint that already
+// exists at meta.Seq is left untouched. The NewNodes/NodesBytes fields
+// of meta are filled in by the write.
+func WriteCheckpoint(dir string, meta *CheckpointMeta, emit func(put func(h ledger.Hash, data []byte) error) (int, error)) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	metaPath := checkpointMetaPath(dir, meta.Seq)
+	if _, err := os.Stat(metaPath); err == nil {
+		return nil // already checkpointed (idempotent resume-and-continue)
+	}
+	nodesPath := checkpointNodesPath(dir, meta.Seq)
+	// A nodes file without a manifest is debris from an interrupted
+	// write; replace it.
+	_ = os.Remove(nodesPath)
+	fw, err := nodestore.CreateFile(nodesPath)
+	if err != nil {
+		return err
+	}
+	n, err := emit(fw.Put)
+	if err != nil {
+		fw.Close()
+		return err
+	}
+	meta.NewNodes = n
+	meta.NodesBytes = fw.Bytes()
+	if err := fw.Close(); err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := metaPath + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, metaPath)
+}
+
+// ListCheckpoints returns the usable checkpoints in dir, sorted by
+// sequence. Manifests that are unreadable, or whose nodes batch is
+// missing or has the wrong size, are skipped (not errors): a damaged
+// checkpoint merely shrinks how far a resume can jump.
+func ListCheckpoints(dir string) ([]CheckpointMeta, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var metas []CheckpointMeta
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cp-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var meta CheckpointMeta
+		if err := json.Unmarshal(blob, &meta); err != nil {
+			continue
+		}
+		fi, err := os.Stat(checkpointNodesPath(dir, meta.Seq))
+		if err != nil || fi.Size() != meta.NodesBytes {
+			continue
+		}
+		metas = append(metas, meta)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Seq < metas[j].Seq })
+	return metas, nil
+}
+
+// OpenCheckpointNodes opens the node batches of the given checkpoints
+// as one layered content-addressed getter. Every batch is CRC-verified
+// on open; any damage fails the whole open (callers fall back to a cold
+// replay).
+func OpenCheckpointNodes(dir string, metas []CheckpointMeta) (nodestore.Getter, error) {
+	layers := make(nodestore.Layered, 0, len(metas))
+	for _, m := range metas {
+		fs, err := nodestore.OpenFile(checkpointNodesPath(dir, m.Seq))
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, fs)
+	}
+	return layers, nil
+}

@@ -1,0 +1,117 @@
+package ledgerstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/nodestore"
+)
+
+func cpRec(i int) (ledger.Hash, []byte) {
+	payload := []byte{byte(i), byte(i >> 8), 0xCC}
+	return ledger.SHA512Half(payload), payload
+}
+
+func writeTestCheckpoint(t *testing.T, dir string, seq uint64, recs ...int) CheckpointMeta {
+	t.Helper()
+	meta := CheckpointMeta{Seq: seq, Root: ledger.SHA512Half([]byte{byte(seq)})}
+	err := WriteCheckpoint(dir, &meta, func(put func(ledger.Hash, []byte) error) (int, error) {
+		for _, i := range recs {
+			h, p := cpRec(i)
+			if err := put(h, p); err != nil {
+				return 0, err
+			}
+		}
+		return len(recs), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func TestCheckpointWriteListOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), CheckpointDirName)
+	m1 := writeTestCheckpoint(t, dir, 100, 1, 2, 3)
+	m2 := writeTestCheckpoint(t, dir, 300, 4, 5)
+	// Idempotent: a second write at the same sequence is a no-op.
+	again := CheckpointMeta{Seq: 100, Root: ledger.Hash{0xFF}}
+	if err := WriteCheckpoint(dir, &again, func(func(ledger.Hash, []byte) error) (int, error) {
+		t.Fatal("emit ran for an existing checkpoint")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	metas, err := ListCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Seq != 100 || metas[1].Seq != 300 {
+		t.Fatalf("listed %+v", metas)
+	}
+	if metas[0].NewNodes != 3 || metas[0].NodesBytes != m1.NodesBytes {
+		t.Fatalf("first meta %+v, wrote %+v", metas[0], m1)
+	}
+
+	// The layered getter unions both batches.
+	getter, err := OpenCheckpointNodes(dir, metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2, 3, 4, 5} {
+		h, p := cpRec(i)
+		got, err := getter.Get(h)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if string(got) != string(p) {
+			t.Fatalf("record %d: got %x", i, got)
+		}
+	}
+	_ = m2
+}
+
+func TestListCheckpointsSkipsDamage(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), CheckpointDirName)
+	writeTestCheckpoint(t, dir, 100, 1)
+	writeTestCheckpoint(t, dir, 200, 2)
+	writeTestCheckpoint(t, dir, 300, 3)
+
+	// 100: nodes file truncated (size mismatch vs manifest).
+	p100 := checkpointNodesPath(dir, 100)
+	blob, err := os.ReadFile(p100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p100, blob[:len(blob)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 200: manifest is garbage.
+	if err := os.WriteFile(checkpointMetaPath(dir, 200), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A nodes file with no manifest at all (interrupted write) is ignored.
+	if fw, err := nodestore.CreateFile(checkpointNodesPath(dir, 400)); err != nil {
+		t.Fatal(err)
+	} else {
+		fw.Close()
+	}
+
+	metas, err := ListCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Seq != 300 {
+		t.Fatalf("listed %+v, want only seq 300", metas)
+	}
+}
+
+func TestListCheckpointsNoDir(t *testing.T) {
+	metas, err := ListCheckpoints(filepath.Join(t.TempDir(), "missing"))
+	if err != nil || metas != nil {
+		t.Fatalf("got %v, %v; want empty, nil", metas, err)
+	}
+}

@@ -1,0 +1,116 @@
+package nodestore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"ripplestudy/internal/ledger"
+)
+
+// FileWriter is the batch-writing file backend: records append through
+// a buffered writer, duplicates (by hash) are skipped, and Close
+// flushes and syncs. A replay checkpoint streams one seal's new tree
+// nodes through it and renames the finished file into place.
+type FileWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	seen  map[ledger.Hash]struct{}
+	buf   []byte
+	bytes int64
+}
+
+// CreateFile opens a new batch file for writing. The path must not
+// exist (batches are immutable once written).
+func CreateFile(path string) (*FileWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileWriter{
+		f:    f,
+		w:    bufio.NewWriterSize(f, 1<<16),
+		seen: make(map[ledger.Hash]struct{}),
+	}, nil
+}
+
+// Put appends one record; a hash already written to this file is
+// skipped. The payload is only borrowed for the call.
+func (fw *FileWriter) Put(h ledger.Hash, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("nodestore: payload of %d bytes exceeds cap", len(payload))
+	}
+	if _, dup := fw.seen[h]; dup {
+		return nil
+	}
+	fw.seen[h] = struct{}{}
+	fw.buf = AppendRecord(fw.buf[:0], h, payload)
+	n, err := fw.w.Write(fw.buf)
+	fw.bytes += int64(n)
+	return err
+}
+
+// Len returns the number of distinct records written.
+func (fw *FileWriter) Len() int { return len(fw.seen) }
+
+// Bytes returns the encoded size written so far.
+func (fw *FileWriter) Bytes() int64 { return fw.bytes }
+
+// Close flushes, syncs, and closes the file.
+func (fw *FileWriter) Close() error {
+	flushErr := fw.w.Flush()
+	syncErr := fw.f.Sync()
+	closeErr := fw.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// FileStore is the read side of a batch file: OpenFile loads the file,
+// CRC-checks every record, and indexes payload spans by hash. Batch
+// files are bounded (one seal's changed nodes), so whole-file loading
+// is both the simplest and the fastest shape for a checkpoint restore,
+// which reads every node exactly once anyway.
+type FileStore struct {
+	data []byte
+	idx  map[ledger.Hash][2]int // payload span: offset, length
+}
+
+// OpenFile loads and indexes a batch file written by FileWriter. Any
+// framing or CRC damage fails the open — a checkpoint loader falls back
+// to an older checkpoint (or a cold replay) rather than trusting a
+// torn batch.
+func OpenFile(path string) (*FileStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileStore{data: data, idx: make(map[ledger.Hash][2]int)}
+	rest := data
+	for len(rest) > 0 {
+		h, payload, next, err := DecodeRecord(rest)
+		if err != nil {
+			return nil, fmt.Errorf("nodestore: %s: %w", path, err)
+		}
+		off := len(data) - len(rest) + recordHeader
+		s.idx[h] = [2]int{off, len(payload)}
+		rest = next
+	}
+	return s, nil
+}
+
+// Get implements Getter. The returned slice aliases the loaded file.
+func (s *FileStore) Get(h ledger.Hash) ([]byte, error) {
+	span, ok := s.idx[h]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s.data[span[0] : span[0]+span[1]], nil
+}
+
+// Len returns the number of records in the file.
+func (s *FileStore) Len() int { return len(s.idx) }

@@ -1,0 +1,154 @@
+// Package nodestore implements content-addressed storage for
+// authenticated tree nodes (internal/shamap): every record is a blob
+// stored under its own SHA512Half, so a store is an idempotent set —
+// putting the same hash twice is a no-op, the union of any collection of
+// stores is itself a valid store, and readers verify integrity by
+// re-hashing what they fetch.
+//
+// Three backends cover the study's needs: MemStore for tests and
+// in-process snapshots, FileWriter/FileStore for the append-only batch
+// files a replay checkpoint persists (file.go), and Cache, an LRU layer
+// over any Getter for hot-node reads (cache.go). The flat record framing
+// (AppendRecord/DecodeRecord) is shared by every backend:
+//
+//	u32 payload length ‖ hash[32] ‖ payload ‖ u32 CRC-32 (hash‖payload)
+//
+// lengths big-endian, CRC over the hash and payload bytes (IEEE). The
+// CRC catches torn writes and bit rot cheaply at scan time; the hash
+// check (the caller's, or VerifyRecord) authenticates content.
+package nodestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"ripplestudy/internal/ledger"
+)
+
+// ErrNotFound reports a hash absent from a store. Layered lookups use
+// it to fall through; anything else aborts the lookup.
+var ErrNotFound = errors.New("nodestore: not found")
+
+// Getter is the read side of a store.
+type Getter interface {
+	// Get returns the payload stored under h, or ErrNotFound. The
+	// returned slice is owned by the store: callers must not mutate it.
+	Get(h ledger.Hash) ([]byte, error)
+}
+
+// Store is a content-addressed node store.
+type Store interface {
+	Getter
+	// Put stores payload under h. Storing a hash that is already present
+	// is a no-op (content addressing makes the write idempotent). The
+	// payload is only borrowed for the call; implementations copy what
+	// they keep.
+	Put(h ledger.Hash, payload []byte) error
+	// Len returns the number of distinct records.
+	Len() int
+}
+
+// MemStore is the in-memory backend.
+type MemStore struct {
+	m map[ledger.Hash][]byte
+}
+
+// NewMem creates an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{m: make(map[ledger.Hash][]byte)}
+}
+
+// Get implements Getter.
+func (s *MemStore) Get(h ledger.Hash) ([]byte, error) {
+	d, ok := s.m[h]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return d, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(h ledger.Hash, payload []byte) error {
+	if _, ok := s.m[h]; ok {
+		return nil
+	}
+	s.m[h] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int { return len(s.m) }
+
+// Layered chains Getters: Get answers from the first layer that holds
+// the hash. Because records are content-addressed, the same hash found
+// in two layers is byte-identical — layering checkpoint batch files in
+// any order reassembles the store that wrote them.
+type Layered []Getter
+
+// Get implements Getter.
+func (l Layered) Get(h ledger.Hash) ([]byte, error) {
+	for _, g := range l {
+		d, err := g.Get(h)
+		if err == nil {
+			return d, nil
+		}
+		if !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Record framing constants.
+const (
+	recordHeader  = 4 + 32 // length + hash
+	recordTrailer = 4      // CRC-32
+	// MaxPayload bounds a single record: far above any real tree node
+	// (a full inner node is 515 bytes) but small enough that a corrupt
+	// length field cannot drive an allocation of gigabytes.
+	MaxPayload = 1 << 26
+)
+
+// AppendRecord appends the framed record for (h, payload) to dst.
+func AppendRecord(dst []byte, h ledger.Hash, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	start := len(dst)
+	dst = append(dst, h[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// DecodeRecord parses one framed record from the front of data,
+// returning the payload (aliasing data) and the remaining bytes.
+func DecodeRecord(data []byte) (h ledger.Hash, payload, rest []byte, err error) {
+	if len(data) < recordHeader+recordTrailer {
+		return h, nil, nil, fmt.Errorf("nodestore: record truncated at %d bytes", len(data))
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > MaxPayload {
+		return h, nil, nil, fmt.Errorf("nodestore: record length %d exceeds cap %d", n, MaxPayload)
+	}
+	total := recordHeader + int(n) + recordTrailer
+	if len(data) < total {
+		return h, nil, nil, fmt.Errorf("nodestore: record wants %d bytes, have %d", total, len(data))
+	}
+	body := data[4 : recordHeader+int(n)]
+	crc := binary.BigEndian.Uint32(data[recordHeader+int(n):])
+	if crc32.ChecksumIEEE(body) != crc {
+		return h, nil, nil, fmt.Errorf("nodestore: record CRC mismatch")
+	}
+	copy(h[:], body)
+	return h, body[32:], data[total:], nil
+}
+
+// VerifyRecord re-hashes a payload against the hash that names it —
+// the content-addressing check on top of the frame CRC.
+func VerifyRecord(h ledger.Hash, payload []byte) error {
+	if ledger.SHA512Half(payload) != h {
+		return fmt.Errorf("nodestore: payload does not hash to %s", h.Short())
+	}
+	return nil
+}

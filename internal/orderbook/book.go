@@ -39,7 +39,17 @@ type Offer struct {
 	// concurrent readers of an unmutated book set never race.
 	quality    amount.Value
 	hasQuality bool
+
+	// stamp is the placement tiebreaker: offers sort by (quality, stamp),
+	// so equal-quality offers keep arrival order, and book order is a pure
+	// function of the standing offer set — any Books holding the same
+	// offers with the same stamps quotes identically, which is what lets a
+	// checkpoint restore reproduce a live book exactly.
+	stamp uint64
 }
+
+// Stamp returns the offer's placement stamp (positive once placed).
+func (o *Offer) Stamp() uint64 { return o.stamp }
 
 // Quality returns the taker's price: Pays per unit of Gets. Lower is
 // better for the taker. For placed offers this is a memoized field read.
@@ -75,9 +85,39 @@ type Pair struct {
 // String implements fmt.Stringer.
 func (p Pair) String() string { return p.Pays.String() + "→" + p.Gets.String() }
 
-// book is the offer list for one pair, sorted by quality ascending.
+// book is the offer list for one pair, sorted by (quality, stamp)
+// ascending.
 type book struct {
 	offers []*Offer
+}
+
+// before reports whether a sorts ahead of b in a book's canonical
+// (quality, stamp) order.
+func before(a, b *Offer) bool {
+	if c := a.quality.Cmp(b.quality); c != 0 {
+		return c < 0
+	}
+	return a.stamp < b.stamp
+}
+
+// insert places o at its canonical position.
+func (bk *book) insert(o *Offer) {
+	idx := sort.Search(len(bk.offers), func(i int) bool {
+		return before(o, bk.offers[i])
+	})
+	bk.offers = append(bk.offers, nil)
+	copy(bk.offers[idx+1:], bk.offers[idx:])
+	bk.offers[idx] = o
+}
+
+// remove drops o (by identity) from the list.
+func (bk *book) remove(o *Offer) {
+	for i, cand := range bk.offers {
+		if cand == o {
+			bk.offers = append(bk.offers[:i], bk.offers[i+1:]...)
+			return
+		}
+	}
 }
 
 // Books is the full order-book set of the exchange. It is not safe for
@@ -85,6 +125,10 @@ type book struct {
 type Books struct {
 	byPair  map[Pair]*book
 	byOwner map[addr.AccountID]map[uint32]*Offer
+
+	// nextStamp is the last placement stamp issued. Restored offers keep
+	// their original stamps and push this forward, so stamps never repeat.
+	nextStamp uint64
 }
 
 // New creates an empty book set.
@@ -95,9 +139,10 @@ func New() *Books {
 	}
 }
 
-// Place inserts an offer into its book. Offers must sell and buy
-// different currencies and carry positive amounts.
-func (b *Books) Place(o *Offer) error {
+// checkPlaceable validates an offer before insertion: it must trade
+// distinct currencies, carry positive amounts, and not collide with a
+// standing offer of the same owner and sequence.
+func (b *Books) checkPlaceable(o *Offer) error {
 	if o.Pays.Currency == o.Gets.Currency {
 		return fmt.Errorf("orderbook: offer trades %s against itself", o.Pays.Currency)
 	}
@@ -109,6 +154,12 @@ func (b *Books) Place(o *Offer) error {
 			return fmt.Errorf("orderbook: duplicate offer %s/%d", o.Owner.Short(), o.Seq)
 		}
 	}
+	return nil
+}
+
+// insert memoizes quality and indexes the offer in its book and in the
+// owner map. The stamp must already be set.
+func (b *Books) insert(o *Offer) {
 	pair := Pair{Pays: o.Pays.Currency, Gets: o.Gets.Currency}
 	bk, ok := b.byPair[pair]
 	if !ok {
@@ -116,13 +167,7 @@ func (b *Books) Place(o *Offer) error {
 		b.byPair[pair] = bk
 	}
 	o.memoQuality()
-	q := o.quality
-	idx := sort.Search(len(bk.offers), func(i int) bool {
-		return bk.offers[i].quality.Cmp(q) > 0
-	})
-	bk.offers = append(bk.offers, nil)
-	copy(bk.offers[idx+1:], bk.offers[idx:])
-	bk.offers[idx] = o
+	bk.insert(o)
 
 	owned, ok := b.byOwner[o.Owner]
 	if !ok {
@@ -130,6 +175,38 @@ func (b *Books) Place(o *Offer) error {
 		b.byOwner[o.Owner] = owned
 	}
 	owned[o.Seq] = o
+}
+
+// Place inserts an offer into its book with a fresh placement stamp.
+// Offers must sell and buy different currencies and carry positive
+// amounts.
+func (b *Books) Place(o *Offer) error {
+	if err := b.checkPlaceable(o); err != nil {
+		return err
+	}
+	b.nextStamp++
+	o.stamp = b.nextStamp
+	b.insert(o)
+	return nil
+}
+
+// PlaceRestored inserts an offer under an existing stamp — the restore
+// path from a persisted state tree. Stamps are never reassigned, so a
+// restored book reproduces the live book's order exactly; nextStamp
+// advances past the largest restored stamp so future placements stay
+// unique.
+func (b *Books) PlaceRestored(o *Offer, stamp uint64) error {
+	if stamp == 0 {
+		return fmt.Errorf("orderbook: restored offer %s/%d has no stamp", o.Owner.Short(), o.Seq)
+	}
+	if err := b.checkPlaceable(o); err != nil {
+		return err
+	}
+	o.stamp = stamp
+	if stamp > b.nextStamp {
+		b.nextStamp = stamp
+	}
+	b.insert(o)
 	return nil
 }
 
@@ -148,12 +225,7 @@ func (b *Books) Cancel(owner addr.AccountID, seq uint32) bool {
 	}
 	pair := Pair{Pays: o.Pays.Currency, Gets: o.Gets.Currency}
 	bk := b.byPair[pair]
-	for i, cand := range bk.offers {
-		if cand == o {
-			bk.offers = append(bk.offers[:i], bk.offers[i+1:]...)
-			break
-		}
-	}
+	bk.remove(o)
 	if len(bk.offers) == 0 {
 		delete(b.byPair, pair)
 	}
@@ -300,12 +372,19 @@ func (b *Books) Apply(q Quote) error {
 		o.Pays.Value = newPays
 		// Dust or exhausted offers are removed. Proportional fills keep
 		// quality essentially unchanged, but decimal rounding can drift
-		// the ratio at the last digit — refresh the memo so reads always
-		// see Pays/Gets of the residual amounts.
+		// the ratio at the last digit — refresh the memo and, if the
+		// quality moved, reposition the offer so the book stays in
+		// canonical (quality, stamp) order regardless of fill history.
 		if !o.Gets.Value.IsPositive() || !o.Pays.Value.IsPositive() {
 			b.Cancel(o.Owner, o.Seq)
 		} else {
+			old := o.quality
 			o.memoQuality()
+			if o.quality.Cmp(old) != 0 {
+				bk := b.byPair[Pair{Pays: o.Pays.Currency, Gets: o.Gets.Currency}]
+				bk.remove(o)
+				bk.insert(o)
+			}
 		}
 	}
 	return nil
@@ -313,6 +392,37 @@ func (b *Books) Apply(q Quote) error {
 
 // OffersOf returns the number of standing offers owned by account.
 func (b *Books) OffersOf(owner addr.AccountID) int { return len(b.byOwner[owner]) }
+
+// StampCounter returns the last placement stamp issued. Persisting it
+// (and restoring via RestoreStampCounter) keeps future placements'
+// stamps identical across a snapshot/restore, even though consumed and
+// cancelled offers leave gaps in the sequence.
+func (b *Books) StampCounter() uint64 { return b.nextStamp }
+
+// RestoreStampCounter fast-forwards the stamp counter; it never moves
+// backwards.
+func (b *Books) RestoreStampCounter(n uint64) {
+	if n > b.nextStamp {
+		b.nextStamp = n
+	}
+}
+
+// Each calls fn for every standing offer, in no particular order.
+func (b *Books) Each(fn func(*Offer)) {
+	for _, owned := range b.byOwner {
+		for _, o := range owned {
+			fn(o)
+		}
+	}
+}
+
+// EachOf calls fn for each standing offer owned by the account, in no
+// particular order.
+func (b *Books) EachOf(owner addr.AccountID, fn func(*Offer)) {
+	for _, o := range b.byOwner[owner] {
+		fn(o)
+	}
+}
 
 // Owners calls fn for each account with standing offers and its count.
 func (b *Books) Owners(fn func(owner addr.AccountID, offers int)) {
@@ -351,18 +461,25 @@ func (b *Books) NumOffers() int {
 	return n
 }
 
-// Clone deep-copies the book set for replay experiments.
+// Clone deep-copies the book set for replay experiments, preserving
+// book order, placement stamps, and the stamp counter — a clone quotes
+// exactly like the original.
 func (b *Books) Clone() *Books {
 	out := New()
-	for _, bk := range b.byPair {
-		for _, o := range bk.offers {
+	out.nextStamp = b.nextStamp
+	for pair, bk := range b.byPair {
+		dupBook := &book{offers: make([]*Offer, len(bk.offers))}
+		for i, o := range bk.offers {
 			dup := *o
-			// Place re-derives all indexes; errors are impossible for
-			// offers that were already standing.
-			if err := out.Place(&dup); err != nil {
-				panic(fmt.Sprintf("orderbook: clone: %v", err))
+			dupBook.offers[i] = &dup
+			owned, ok := out.byOwner[dup.Owner]
+			if !ok {
+				owned = make(map[uint32]*Offer)
+				out.byOwner[dup.Owner] = owned
 			}
+			owned[dup.Seq] = &dup
 		}
+		out.byPair[pair] = dupBook
 	}
 	return out
 }

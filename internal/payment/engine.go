@@ -48,6 +48,10 @@ type Engine struct {
 	// would be quadratic; the chained digest preserves the property the
 	// consensus needs: equal histories ⇒ equal digests.
 	stateDigest ledger.Hash
+
+	// state is the optional authenticated state tree and its mutation
+	// journal (state.go); nil unless WithStateTree/EnableStateTree.
+	state *stateJournal
 }
 
 // Option configures an Engine.
@@ -115,7 +119,9 @@ func (e *Engine) FeesDestroyed() amount.Drops { return e.feesDestroyed }
 // StateDigest returns the deterministic fingerprint of the state history.
 func (e *Engine) StateDigest() ledger.Hash { return e.stateDigest }
 
-// Clone deep-copies the engine for replay experiments (Table II).
+// Clone deep-copies the engine for replay experiments (Table II). The
+// clone does not carry the state tree: ablated copies diverge from the
+// sealed history, and none of the cloning call sites checkpoint.
 func (e *Engine) Clone() *Engine {
 	out := &Engine{
 		graph:            e.graph.Clone(),
@@ -145,6 +151,10 @@ func (e *Engine) RemoveMarketMakers() []addr.AccountID {
 	var mms []addr.AccountID
 	e.books.Owners(func(owner addr.AccountID, _ int) { mms = append(mms, owner) })
 	for _, mm := range mms {
+		// Journal everything the removal touches while it still exists.
+		e.markAccount(mm)
+		e.graph.PairsOf(mm, func(p *trustgraph.Pair) { e.markPair(p.Lo, p.Hi, p.Currency) })
+		e.books.EachOf(mm, func(o *orderbook.Offer) { e.markOffer(o.Owner, o.Seq) })
 		e.books.RemoveOwner(mm)
 		e.graph.RemoveAccount(mm)
 		delete(e.xrp, mm)
@@ -220,6 +230,7 @@ func (e *Engine) apply(tx *ledger.Tx, plan *pathfind.Plan, havePlan bool) (*ledg
 	e.feesDestroyed += fee
 	e.totalDrops -= uint64(fee)
 	e.seq[tx.Account] = next + 1
+	e.markAccount(tx.Account)
 
 	switch tx.Type {
 	case ledger.TxPayment:
@@ -227,12 +238,15 @@ func (e *Engine) apply(tx *ledger.Tx, plan *pathfind.Plan, havePlan bool) (*ledg
 	case ledger.TxOfferCreate:
 		e.applyOfferCreate(tx, meta)
 	case ledger.TxOfferCancel:
-		e.books.Cancel(tx.Account, tx.OfferSequence)
+		if e.books.Cancel(tx.Account, tx.OfferSequence) {
+			e.markOffer(tx.Account, tx.OfferSequence)
+		}
 		meta.Result = ledger.ResultSuccess
 	case ledger.TxTrustSet:
 		if err := e.graph.SetTrust(tx.Account, tx.LimitPeer, tx.Limit.Currency, tx.Limit.Value); err != nil {
 			meta.Result = ledger.ResultMalformed
 		} else {
+			e.markPair(tx.Account, tx.LimitPeer, tx.Limit.Currency)
 			meta.Result = ledger.ResultSuccess
 		}
 	case ledger.TxAccountSet:
@@ -405,6 +419,7 @@ func (e *Engine) executePlan(plan *pathfind.Plan) (err error) {
 		if err = e.graph.ApplyFlow(fl.From, fl.To, fl.Currency, fl.Value); err != nil {
 			return fmt.Errorf("payment: trust flow: %w", err)
 		}
+		e.markPair(fl.From, fl.To, fl.Currency)
 		undo = append(undo, func() {
 			// A flow is exactly reversed by the opposite flow: the
 			// capacity it consumed is the capacity the reverse restores.
@@ -422,6 +437,7 @@ func (e *Engine) executePlan(plan *pathfind.Plan) (err error) {
 			return fmt.Errorf("payment: %s: %s exhausted mid-plan", what, from.Short())
 		}
 		e.xrp[from] -= drops
+		e.markAccount(from)
 		e.creditXRP(to, drops)
 		undo = append(undo, func() {
 			e.xrp[to] -= drops
@@ -445,6 +461,9 @@ func (e *Engine) executePlan(plan *pathfind.Plan) (err error) {
 					return err
 				}
 			}
+		}
+		for _, f := range q.Fills {
+			e.markOffer(f.Offer.Owner, f.Offer.Seq)
 		}
 		if err = e.books.Apply(q); err != nil {
 			return fmt.Errorf("payment: book fill: %w", err)
@@ -476,6 +495,7 @@ func (e *Engine) creditXRP(a addr.AccountID, d amount.Drops) {
 	if _, ok := e.seq[a]; !ok {
 		e.seq[a] = 1
 	}
+	e.markAccount(a)
 }
 
 // applyOfferCreate places the offer described by the transaction.
@@ -490,6 +510,7 @@ func (e *Engine) applyOfferCreate(tx *ledger.Tx, meta *ledger.TxMeta) {
 		meta.Result = ledger.ResultMalformed
 		return
 	}
+	e.markOffer(o.Owner, o.Seq)
 	meta.Result = ledger.ResultSuccess
 }
 
@@ -502,6 +523,7 @@ func (e *Engine) Fund(a addr.AccountID, d amount.Drops) {
 	}
 	if e.xrp[addr.AccountZero] >= d {
 		e.xrp[addr.AccountZero] -= d
+		e.markAccount(addr.AccountZero)
 	}
 	e.creditXRP(a, d)
 }

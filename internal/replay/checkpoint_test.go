@@ -1,0 +1,187 @@
+package replay
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/ledgerstore"
+)
+
+// storeWithHistory persists pages into a fresh disk store and returns
+// the reopened store plus the last page sequence.
+func storeWithHistory(t *testing.T, pages []*ledger.Page) (*ledgerstore.Store, uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := ledgerstore.Create(dir, ledgerstore.WithSegmentBytes(1<<16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		if err := store.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return store, pages[len(pages)-1].Header.Sequence
+}
+
+// TestCheckpointResumeMatchesCold is the resume differential: replays
+// resumed from a checkpoint must be bit-identical — rows, digest, and
+// sealed state root — to cold replays, for checkpoints strictly before,
+// exactly on, and after the snapshot sequence. `make race` runs it
+// under the race detector.
+func TestCheckpointResumeMatchesCold(t *testing.T) {
+	pages, _ := generate(t, 4000, 9)
+	store, last := storeWithHistory(t, pages)
+	snap := pages[len(pages)*7/10].Header.Sequence
+
+	// Seed the sidecar across the FULL history, so later snapshots have
+	// checkpoints past them (the resume must ignore those).
+	const every = 40
+	if _, err := BuildStateOpts(store, last, BuildOptions{CheckpointEvery: every, DisableResume: true}); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := ledgerstore.ListCheckpoints(store.CheckpointDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) < 3 {
+		t.Fatalf("only %d checkpoints written; test needs several", len(metas))
+	}
+	if metas[len(metas)-1].Seq <= snap {
+		t.Fatalf("no checkpoint past the snapshot (last %d, snap %d)", metas[len(metas)-1].Seq, snap)
+	}
+
+	// A checkpoint exactly on the snapshot, and one strictly before it.
+	onSnap := uint64(0)
+	for _, m := range metas {
+		if m.Seq <= snap {
+			onSnap = m.Seq
+		}
+	}
+	if onSnap == 0 {
+		t.Fatal("no checkpoint at or before the snapshot")
+	}
+	for _, tc := range []struct {
+		name string
+		snap uint64
+	}{
+		{"checkpoint-before-snapshot", snap},
+		{"checkpoint-on-snapshot", onSnap},
+		{"checkpoints-after-snapshot", metas[0].Seq + 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cold, err := RunOpts(store, tc.snap, BuildOptions{DisableResume: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := RunOpts(store, tc.snap, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, cold, resumed, "resumed sequential")
+			parResumed, err := RunParallelOpts(store, tc.snap, 4, BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, cold, parResumed, "resumed parallel")
+		})
+	}
+
+	// BuildState itself must agree too, at a snapshot between checkpoints.
+	coldEng, err := BuildStateOpts(store, snap, BuildOptions{DisableResume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedEng, err := BuildStateOpts(store, snap, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldEng.StateDigest() != resumedEng.StateDigest() {
+		t.Error("BuildState digest differs cold vs resumed")
+	}
+	coldRoot, err := coldEng.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedRoot, err := resumedEng.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRoot != resumedRoot {
+		t.Errorf("BuildState root %s cold vs %s resumed", coldRoot.Short(), resumedRoot.Short())
+	}
+}
+
+// TestCheckpointCorruptionFallsBackCold damages a checkpoint batch and
+// checks that resume silently degrades to a cold replay with identical
+// results — corruption can slow a replay down but never change it.
+func TestCheckpointCorruptionFallsBackCold(t *testing.T) {
+	pages, _ := generate(t, 2000, 10)
+	store, _ := storeWithHistory(t, pages)
+	snap := pages[len(pages)*7/10].Header.Sequence
+
+	if _, err := BuildStateOpts(store, snap, BuildOptions{CheckpointEvery: 30, DisableResume: true}); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunOpts(store, snap, BuildOptions{DisableResume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the first batch file: its CRC check
+	// fails on open, which poisons the whole layered load.
+	metas, err := ledgerstore.ListCheckpoints(store.CheckpointDir())
+	if err != nil || len(metas) == 0 {
+		t.Fatalf("checkpoints: %v (%d found)", err, len(metas))
+	}
+	nodesPath := filepath.Join(store.CheckpointDir(), "cp-"+pad16(metas[0].Seq)+".nodes")
+	blob, err := os.ReadFile(nodesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(nodesPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RunOpts(store, snap, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, cold, resumed, "fallback after corruption")
+}
+
+// pad16 renders a sequence like the checkpoint file naming does.
+func pad16(seq uint64) string {
+	const digits = "0123456789"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[seq%10]
+		seq /= 10
+	}
+	return string(b[:])
+}
+
+// TestMemorySourceHasNoCheckpoints pins the zero-config behavior: a
+// memory source neither writes nor resumes, and options asking for
+// checkpointing on it are a quiet no-op.
+func TestMemorySourceHasNoCheckpoints(t *testing.T) {
+	pages, _ := generate(t, 800, 11)
+	last := pages[len(pages)-1].Header.Sequence
+	a, err := BuildStateOpts(FromPages(pages), last, BuildOptions{CheckpointEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildState(FromPages(pages), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StateDigest() != b.StateDigest() {
+		t.Error("checkpoint options changed a memory-source replay")
+	}
+}

@@ -29,6 +29,12 @@ func sameResult(t *testing.T, want, got *Result, label string) {
 	if got.StateDigest != want.StateDigest {
 		t.Errorf("%s: state digest differs from sequential replay", label)
 	}
+	if got.StateRoot != want.StateRoot {
+		t.Errorf("%s: sealed state root differs from sequential replay", label)
+	}
+	if got.StateRoot.IsZero() {
+		t.Errorf("%s: sealed state root is zero", label)
+	}
 }
 
 // TestRunParallelMatchesSequential is the differential test pinning the

@@ -27,10 +27,13 @@ import (
 	"sync"
 
 	"ripplestudy/internal/addr"
+	"ripplestudy/internal/amount"
 	"ripplestudy/internal/ledger"
+	"ripplestudy/internal/ledgerstore"
 	"ripplestudy/internal/orderbook"
 	"ripplestudy/internal/pathfind"
 	"ripplestudy/internal/payment"
+	"ripplestudy/internal/shamap"
 )
 
 // Source streams ledger pages in order; ledgerstore.Store satisfies it.
@@ -170,34 +173,168 @@ func streamPages(src Source, lo, hi uint64, stop <-chan struct{}) <-chan pageOrE
 // maxSeq is the inclusive upper bound meaning "to the end of history".
 const maxSeq = ^uint64(0)
 
+// BuildOptions configure state-tree checkpointing during a replay.
+// The zero value replays cold with no checkpoint writes — but a resume
+// still happens automatically when the source carries usable
+// checkpoints (set DisableResume to force cold).
+type BuildOptions struct {
+	// CheckpointEvery persists a sealed checkpoint to the sidecar every N
+	// pages applied. 0 disables checkpoint writing.
+	CheckpointEvery uint64
+	// DisableResume forces a cold rebuild even when checkpoints exist.
+	DisableResume bool
+	// CheckpointDir overrides the sidecar directory. Empty uses the
+	// source's own sidecar when it has one (ledgerstore.Store does); a
+	// memory source with no dir neither writes nor resumes.
+	CheckpointDir string
+}
+
+// checkpointDirer is satisfied by sources with a checkpoint sidecar
+// (ledgerstore.Store).
+type checkpointDirer interface {
+	CheckpointDir() string
+}
+
+func (o BuildOptions) dir(src Source) string {
+	if o.CheckpointDir != "" {
+		return o.CheckpointDir
+	}
+	if cd, ok := src.(checkpointDirer); ok {
+		return cd.CheckpointDir()
+	}
+	return ""
+}
+
+// resumeFromCheckpoint restores the engine from the newest usable
+// checkpoint at or before snapshotSeq. Any failure — no sidecar, no
+// eligible checkpoint, damaged batches, a tree that does not decode —
+// reports ok=false and the caller replays cold; a checkpoint can speed
+// a replay up but never make it fail.
+func resumeFromCheckpoint(dir string, snapshotSeq uint64) (eng *payment.Engine, seq uint64, ok bool) {
+	metas, err := ledgerstore.ListCheckpoints(dir)
+	if err != nil || len(metas) == 0 {
+		return nil, 0, false
+	}
+	last := -1
+	for i := range metas {
+		if metas[i].Seq <= snapshotSeq {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil, 0, false
+	}
+	// The tree at checkpoint N lives in the union of every batch ≤ N.
+	getter, err := ledgerstore.OpenCheckpointNodes(dir, metas[:last+1])
+	if err != nil {
+		return nil, 0, false
+	}
+	cp := metas[last]
+	tree, err := shamap.Load(cp.Root, getter.Get)
+	if err != nil {
+		return nil, 0, false
+	}
+	restored, err := payment.RestoreEngine(tree, payment.RestoreScalars{
+		TotalDrops:    cp.TotalDrops,
+		FeesDestroyed: amount.Drops(cp.FeesDestroyed),
+		StateDigest:   cp.StateDigest,
+	})
+	if err != nil {
+		return nil, 0, false
+	}
+	return restored, cp.Seq, true
+}
+
+// checkpointWriter seals and persists the engine's state tree every
+// `every` pages.
+type checkpointWriter struct {
+	dir   string
+	every uint64
+	since uint64
+}
+
+func (cw *checkpointWriter) maybe(eng *payment.Engine, seq uint64) error {
+	if cw == nil {
+		return nil
+	}
+	cw.since++
+	if cw.since < cw.every {
+		return nil
+	}
+	cw.since = 0
+	root, err := eng.SealState()
+	if err != nil {
+		return err
+	}
+	meta := &ledgerstore.CheckpointMeta{
+		Seq:           seq,
+		Root:          root,
+		StateDigest:   eng.StateDigest(),
+		TotalDrops:    eng.TotalDrops(),
+		FeesDestroyed: int64(eng.FeesDestroyed()),
+	}
+	return ledgerstore.WriteCheckpoint(cw.dir, meta, eng.WriteNewStateNodes)
+}
+
 // BuildState replays every transaction in pages with sequence ≤
 // snapshotSeq into a fresh engine, reconstructing the network state at
 // the snapshot. Replaying is deterministic, so the rebuilt state matches
-// the state that produced the history.
+// the state that produced the history. When the source carries
+// checkpoints, the rebuild resumes from the newest one at or before the
+// snapshot instead of starting from genesis.
 func BuildState(src Source, snapshotSeq uint64) (*payment.Engine, error) {
-	eng := payment.NewEngine()
+	return BuildStateOpts(src, snapshotSeq, BuildOptions{})
+}
+
+// BuildStateOpts is BuildState with explicit checkpoint options.
+func BuildStateOpts(src Source, snapshotSeq uint64, opts BuildOptions) (*payment.Engine, error) {
+	dir := opts.dir(src)
+	var eng *payment.Engine
+	from := uint64(0)
+	if dir != "" && !opts.DisableResume {
+		if restored, seq, ok := resumeFromCheckpoint(dir, snapshotSeq); ok {
+			eng, from = restored, seq+1
+		}
+	}
+	if eng == nil {
+		eng = payment.NewEngine(payment.WithStateTree())
+	}
+	var cw *checkpointWriter
+	if dir != "" && opts.CheckpointEvery > 0 {
+		cw = &checkpointWriter{dir: dir, every: opts.CheckpointEvery}
+	}
 	stop := make(chan struct{})
 	defer close(stop)
-	for pe := range streamPages(src, 0, snapshotSeq, stop) {
+	for pe := range streamPages(src, from, snapshotSeq, stop) {
 		if pe.err != nil {
 			return nil, pe.err
 		}
-		for _, tx := range pe.page.Txs {
-			if _, err := eng.Apply(tx); err != nil {
-				err = fmt.Errorf("replay: rebuilding state at page %d: %w", pe.page.Header.Sequence, err)
-				if pe.release != nil {
-					pe.release()
-				}
-				return nil, err
-			}
+		seq, err := applyPage(eng, pe)
+		if err != nil {
+			return nil, err
 		}
-		// The engine keeps no references into the page (it reads value
-		// fields only), so the decode arena can recycle immediately.
-		if pe.release != nil {
-			pe.release()
+		if err := cw.maybe(eng, seq); err != nil {
+			return nil, fmt.Errorf("replay: checkpointing at page %d: %w", seq, err)
 		}
 	}
 	return eng, nil
+}
+
+// applyPage applies every transaction of one streamed page. The page's
+// decode arena (when pooled) is recycled exactly once on every exit
+// path; the engine keeps no references into the page — it reads value
+// fields only.
+func applyPage(eng *payment.Engine, pe pageOrErr) (seq uint64, err error) {
+	if pe.release != nil {
+		defer pe.release()
+	}
+	seq = pe.page.Header.Sequence
+	for _, tx := range pe.page.Txs {
+		if _, err := eng.Apply(tx); err != nil {
+			return seq, fmt.Errorf("replay: rebuilding state at page %d: %w", seq, err)
+		}
+	}
+	return seq, nil
 }
 
 // Category buckets replayed payments as the paper's Table II does.
@@ -266,6 +403,12 @@ type Result struct {
 	// after the last replayed transaction — the strongest equality check
 	// between two replays of the same history.
 	StateDigest ledger.Hash
+	// StateRoot is the sealed Merkle root of the engine's final state —
+	// the authenticated complement to StateDigest: the digest pins the
+	// history taken, the root commits to the state reached, and the pair
+	// is pinned differentially across sequential, parallel, and
+	// checkpoint-resumed replays.
+	StateRoot ledger.Hash
 	// Stats describes the pipeline; excluded from result equality.
 	Stats Stats
 }
@@ -284,7 +427,13 @@ func (r Result) Total() Row {
 // payments (direct XRP transfers don't traverse trust or books and are
 // excluded, as in the paper's 1.7M-payment replay set).
 func Run(src Source, snapshotSeq uint64) (*Result, error) {
-	state, removed, res, err := setupReplay(src, snapshotSeq)
+	return RunOpts(src, snapshotSeq, BuildOptions{})
+}
+
+// RunOpts is Run with explicit checkpoint options for the state
+// rebuild phase.
+func RunOpts(src Source, snapshotSeq uint64, opts BuildOptions) (*Result, error) {
+	state, removed, res, err := setupReplay(src, snapshotSeq, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -307,14 +456,24 @@ func Run(src Source, snapshotSeq uint64) (*Result, error) {
 			pe.release()
 		}
 	}
+	return finishResult(state, res)
+}
+
+// finishResult stamps the final digest and sealed state root.
+func finishResult(state *payment.Engine, res *Result) (*Result, error) {
 	res.StateDigest = state.StateDigest()
+	root, err := state.SealState()
+	if err != nil {
+		return nil, err
+	}
+	res.StateRoot = root
 	return res, nil
 }
 
 // setupReplay rebuilds the snapshot state and performs the market-maker
 // ablation shared by Run and RunParallel.
-func setupReplay(src Source, snapshotSeq uint64) (*payment.Engine, map[addr.AccountID]bool, *Result, error) {
-	state, err := BuildState(src, snapshotSeq)
+func setupReplay(src Source, snapshotSeq uint64, opts BuildOptions) (*payment.Engine, map[addr.AccountID]bool, *Result, error) {
+	state, err := BuildStateOpts(src, snapshotSeq, opts)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -398,10 +557,16 @@ const planBatchSize = 256
 // (payments and trust-line updates); offer placement would bypass the
 // dirty tracking.
 func RunParallel(src Source, snapshotSeq uint64, workers int) (*Result, error) {
+	return RunParallelOpts(src, snapshotSeq, workers, BuildOptions{})
+}
+
+// RunParallelOpts is RunParallel with explicit checkpoint options for
+// the state rebuild phase.
+func RunParallelOpts(src Source, snapshotSeq uint64, workers int, opts BuildOptions) (*Result, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	state, removed, res, err := setupReplay(src, snapshotSeq)
+	state, removed, res, err := setupReplay(src, snapshotSeq, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -471,8 +636,7 @@ func RunParallel(src Source, snapshotSeq uint64, workers int) (*Result, error) {
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	res.StateDigest = state.StateDigest()
-	return res, nil
+	return finishResult(state, res)
 }
 
 // planBatch runs the pathfinder for every replayable payment in the

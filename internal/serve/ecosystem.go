@@ -80,6 +80,12 @@ type ecoShards struct {
 	// lastSealPages is the folded page count the previous seal covered.
 	// Sealer-goroutine only.
 	lastSealPages uint64
+	// merged is the recycled merge target for multi-shard seals: every
+	// seal re-merges the cumulative shards from scratch, so instead of
+	// allocating a fresh collector (and regrowing its maps) per epoch,
+	// the previous epoch's is Reset — buckets and histograms kept — and
+	// refilled. Sealer-goroutine only, like lastSealPages.
+	merged *ecosystemState
 }
 
 func newEcoShards(n int) *ecoShards {
@@ -119,12 +125,17 @@ func (e *ecoShards) snapshot(epoch, appliedSeq uint64) *EcosystemSnapshot {
 	if len(e.shards) == 1 {
 		return e.shards[0].snapshot(epoch, appliedSeq)
 	}
-	merged := newEcosystemState()
-	for _, sh := range e.shards {
-		merged.col.MergeCloned(sh.col)
-		merged.pages += sh.pages
+	if e.merged == nil {
+		e.merged = newEcosystemState()
+	} else {
+		e.merged.col.Reset()
+		e.merged.pages = 0
 	}
-	return merged.snapshot(epoch, appliedSeq)
+	for _, sh := range e.shards {
+		e.merged.col.MergeCloned(sh.col)
+		e.merged.pages += sh.pages
+	}
+	return e.merged.snapshot(epoch, appliedSeq)
 }
 
 // SurvivalCurve is one labelled Figure 5 curve.

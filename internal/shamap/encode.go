@@ -1,0 +1,102 @@
+// Node encoding: the canonical byte form of a tree node, which is both
+// what a nodestore persists and the preimage of the node's hash —
+// hash = SHA512Half(encoding) — so content-addressed storage verifies
+// itself on read.
+//
+//	leaf:  'L' ‖ key[32] ‖ value
+//	inner: 'I' ‖ bitmap(u16 BE) ‖ hash[32] per set bit, nibble order
+//
+// The leaf value's length is implicit (the store frames records), and
+// an inner node stores hashes only for present children, so a sparse
+// node costs 3 + 32·children bytes.
+package shamap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"ripplestudy/internal/ledger"
+)
+
+const (
+	kindLeaf  = 'L'
+	kindInner = 'I'
+)
+
+// appendNode appends the canonical encoding of n to dst. Inner children
+// must already carry valid hashes.
+func appendNode(dst []byte, n *node) []byte {
+	if n.leaf {
+		dst = append(dst, kindLeaf)
+		dst = append(dst, n.key[:]...)
+		return append(dst, n.value...)
+	}
+	var bitmap uint16
+	for i, c := range n.children {
+		if c != nil {
+			bitmap |= 1 << uint(i)
+		}
+	}
+	dst = append(dst, kindInner)
+	dst = binary.BigEndian.AppendUint16(dst, bitmap)
+	for _, c := range n.children {
+		if c != nil {
+			dst = append(dst, c.hash[:]...)
+		}
+	}
+	return dst
+}
+
+// Node is the decoded form of a stored tree node.
+type Node struct {
+	Leaf bool
+	// Leaf fields. Value aliases the input buffer.
+	Key   ledger.Hash
+	Value []byte
+	// Inner field: one child hash per nibble, zero when absent.
+	Children [16]ledger.Hash
+}
+
+// DecodeNode parses a canonical node encoding. Node.Value aliases data;
+// callers that outlive the buffer must copy it.
+func DecodeNode(data []byte) (Node, error) {
+	if len(data) == 0 {
+		return Node{}, fmt.Errorf("shamap: empty node record")
+	}
+	switch data[0] {
+	case kindLeaf:
+		if len(data) < 1+32 {
+			return Node{}, fmt.Errorf("shamap: leaf record truncated at %d bytes", len(data))
+		}
+		var n Node
+		n.Leaf = true
+		copy(n.Key[:], data[1:33])
+		n.Value = data[33:]
+		return n, nil
+	case kindInner:
+		if len(data) < 3 {
+			return Node{}, fmt.Errorf("shamap: inner record truncated at %d bytes", len(data))
+		}
+		bitmap := binary.BigEndian.Uint16(data[1:3])
+		want := 3 + 32*bits.OnesCount16(bitmap)
+		if len(data) != want {
+			return Node{}, fmt.Errorf("shamap: inner record is %d bytes, bitmap %04x wants %d", len(data), bitmap, want)
+		}
+		var n Node
+		off := 3
+		for i := 0; i < 16; i++ {
+			if bitmap&(1<<uint(i)) == 0 {
+				continue
+			}
+			copy(n.Children[i][:], data[off:off+32])
+			if n.Children[i].IsZero() {
+				return Node{}, fmt.Errorf("shamap: inner record carries a zero child hash at nibble %d", i)
+			}
+			off += 32
+		}
+		return n, nil
+	default:
+		return Node{}, fmt.Errorf("shamap: unknown node kind 0x%02x", data[0])
+	}
+}

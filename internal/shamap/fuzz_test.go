@@ -1,0 +1,76 @@
+package shamap
+
+import (
+	"bytes"
+	"testing"
+
+	"ripplestudy/internal/ledger"
+)
+
+// FuzzShamapOps drives a random insert/update/delete sequence against
+// one tree (with seals interleaved) and checks the fundamental Merkle
+// invariant: the final root equals the root of a tree rebuilt from
+// scratch out of the surviving entries — the sealed root is a pure
+// function of the key/value set. It also round-trips the final tree
+// through WriteNew/Load.
+func FuzzShamapOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{0x80, 0x01, 0x81, 0x01, 0x41, 0x01, 0xC1})
+	f.Add(bytes.Repeat([]byte{0x01, 0x02, 0x83, 0x44}, 40))
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New()
+		model := make(map[ledger.Hash][]byte)
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, sel := ops[i], ops[i+1]
+			// Keys are drawn from a small hashed universe so inserts,
+			// overwrites, and deletes collide often.
+			k := ledger.SHA512Half([]byte{sel & 0x3f})
+			switch op % 4 {
+			case 0, 1: // insert / overwrite
+				v := []byte{op, sel}
+				tr.Set(k, v)
+				model[k] = v
+			case 2: // delete
+				_, want := model[k]
+				if got := tr.Delete(k); got != want {
+					t.Fatalf("op %d: Delete = %v, model says %v", i, got, want)
+				}
+				delete(model, k)
+			case 3: // interleaved seal
+				tr.Seal()
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len = %d, model has %d", tr.Len(), len(model))
+		}
+		root := tr.Seal()
+
+		rebuilt := New()
+		for k, v := range model {
+			rebuilt.Set(k, v)
+		}
+		if r := rebuilt.Seal(); r != root {
+			t.Fatalf("rebuilt root %s, incremental root %s", r.Short(), root.Short())
+		}
+
+		store := storeMap{}
+		if _, err := tr.WriteNew(store.put); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(root, store.get)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Len() != len(model) {
+			t.Fatalf("loaded %d leaves, model has %d", loaded.Len(), len(model))
+		}
+		for k, v := range model {
+			got, ok := loaded.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("loaded leaf %s = %q, %v; want %q", k.Short(), got, ok, v)
+			}
+		}
+	})
+}

@@ -365,6 +365,49 @@ func (g *Graph) Pairs(fn func(*Pair)) {
 	}
 }
 
+// PairOf returns the trust pair between a and b in the given currency,
+// or nil when none exists. The returned Pair is live graph state —
+// callers must treat it as read-only.
+func (g *Graph) PairOf(a, b addr.AccountID, cur amount.Currency) *Pair {
+	return g.pair(a, b, cur, false)
+}
+
+// PairsOf calls fn once per trust pair the account participates in, in
+// the adjacency's canonical (currency, peer account) order — stable
+// regardless of the order the pairs were created.
+func (g *Graph) PairsOf(a addr.AccountID, fn func(*Pair)) {
+	ai, ok := g.ids[a]
+	if !ok {
+		return
+	}
+	for _, e := range g.adj[ai] {
+		fn(e.pair)
+	}
+}
+
+// RestorePair reinstates a trust pair with explicit limits and balance —
+// the restore path from a persisted state tree. lo and hi must already
+// be in canonical order and the pair must not exist yet.
+func (g *Graph) RestorePair(lo, hi addr.AccountID, cur amount.Currency, limLoHi, limHiLo, balance amount.Value) error {
+	if cur.IsXRP() {
+		return fmt.Errorf("trustgraph: XRP needs no trust-lines")
+	}
+	if lo == hi {
+		return fmt.Errorf("trustgraph: account cannot trust itself")
+	}
+	if hi.Less(lo) {
+		return fmt.Errorf("trustgraph: restored pair %s/%s not in canonical order", lo.Short(), hi.Short())
+	}
+	if g.pair(lo, hi, cur, false) != nil {
+		return fmt.Errorf("trustgraph: restored pair %s/%s/%s already present", lo.Short(), hi.Short(), cur)
+	}
+	p := g.pair(lo, hi, cur, true)
+	p.LimitLoHi = limLoHi
+	p.LimitHiLo = limHiLo
+	p.Balance = balance
+	return nil
+}
+
 // NumPairs returns the number of distinct (pair, currency) trust records.
 func (g *Graph) NumPairs() int { return g.pairs }
 
